@@ -1,0 +1,92 @@
+/// bench_scaling — the paper's runtime claim: legalization completes a
+/// million-cell design in under two minutes; runtime grows near-linearly
+/// in the cell count (each MLL call touches a constant-size window).
+/// Google-benchmark over generated designs of growing size.
+
+#include <benchmark/benchmark.h>
+
+#include "db/segment.hpp"
+#include "io/benchmark_gen.hpp"
+#include "legalize/legalizer.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace mrlg;
+
+void BM_LegalizeScaling(benchmark::State& state) {
+    set_log_level(LogLevel::kError);
+    const auto cells = static_cast<std::size_t>(state.range(0));
+    GenProfile p;
+    p.name = "scaling";
+    p.num_single = cells * 9 / 10;
+    p.num_double = cells / 10;
+    p.density = 0.55;
+    p.seed = 99;
+    GenResult gen = generate_benchmark(p);
+    SegmentGrid grid = SegmentGrid::build(gen.db);
+
+    std::size_t unplaced = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        for (const CellId c : gen.db.movable_cells()) {
+            if (gen.db.cell(c).placed()) {
+                grid.remove(gen.db, c);
+            }
+        }
+        state.ResumeTiming();
+        const LegalizerStats s = legalize_placement(gen.db, grid);
+        unplaced = s.unplaced;
+        benchmark::DoNotOptimize(unplaced);
+    }
+    state.counters["cells"] = static_cast<double>(cells);
+    state.counters["unplaced"] = static_cast<double>(unplaced);
+    state.counters["cells_per_sec"] = benchmark::Counter(
+        static_cast<double>(cells), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_ExactLegalizeScaling(benchmark::State& state) {
+    set_log_level(LogLevel::kError);
+    const auto cells = static_cast<std::size_t>(state.range(0));
+    GenProfile p;
+    p.name = "scaling_exact";
+    p.num_single = cells * 9 / 10;
+    p.num_double = cells / 10;
+    p.density = 0.55;
+    p.seed = 99;
+    GenResult gen = generate_benchmark(p);
+    SegmentGrid grid = SegmentGrid::build(gen.db);
+    LegalizerOptions opts;
+    opts.mll.exact_evaluation = true;
+    for (auto _ : state) {
+        state.PauseTiming();
+        for (const CellId c : gen.db.movable_cells()) {
+            if (gen.db.cell(c).placed()) {
+                grid.remove(gen.db, c);
+            }
+        }
+        state.ResumeTiming();
+        const LegalizerStats s = legalize_placement(gen.db, grid, opts);
+        benchmark::DoNotOptimize(s.unplaced);
+    }
+    state.counters["cells"] = static_cast<double>(cells);
+}
+
+}  // namespace
+
+BENCHMARK(BM_LegalizeScaling)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Arg(64000)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.1);
+
+BENCHMARK(BM_ExactLegalizeScaling)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(16000)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+#include "db/floorplan.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mrlg {
+
+Floorplan::Floorplan(SiteCoord num_rows, SiteCoord sites_per_row,
+                     double site_w_um, double site_h_um)
+    : site_w_um_(site_w_um), site_h_um_(site_h_um) {
+    MRLG_ASSERT(num_rows >= 0 && sites_per_row >= 0,
+                "floorplan dimensions must be non-negative");
+    rows_.reserve(static_cast<std::size_t>(num_rows));
+    for (SiteCoord y = 0; y < num_rows; ++y) {
+        rows_.push_back(Row{y, 0, sites_per_row});
+    }
+}
+
+const Row& Floorplan::row(SiteCoord y) const {
+    MRLG_ASSERT(has_row(y), "row index out of range");
+    return rows_[static_cast<std::size_t>(y)];
+}
+
+void Floorplan::add_row(Row row) {
+    MRLG_ASSERT(row.y == num_rows(),
+                "rows must be added bottom-up with consecutive indices");
+    MRLG_ASSERT(row.num_sites >= 0, "row width must be non-negative");
+    rows_.push_back(row);
+}
+
+void Floorplan::add_fence(int region, const Rect& r) {
+    MRLG_ASSERT(region > 0, "fence region ids start at 1 (0 is the core)");
+    for (const Fence& f : fences_) {
+        MRLG_ASSERT(f.region == region || !f.rect.overlaps(r),
+                    "fences of different regions must not overlap");
+    }
+    fences_.push_back(Fence{region, r});
+}
+
+Rect Floorplan::die() const {
+    if (rows_.empty()) {
+        return Rect{};
+    }
+    SiteCoord x_lo = kSiteCoordMax;
+    SiteCoord x_hi = kSiteCoordMin;
+    for (const Row& r : rows_) {
+        x_lo = std::min(x_lo, r.x);
+        x_hi = std::max(x_hi, static_cast<SiteCoord>(r.x + r.num_sites));
+    }
+    return Rect{x_lo, 0, static_cast<SiteCoord>(x_hi - x_lo), num_rows()};
+}
+
+std::int64_t Floorplan::free_site_area() const {
+    std::int64_t total = 0;
+    for (const Row& r : rows_) {
+        total += r.num_sites;
+    }
+    // Subtract blockage overlap with each row. Blockages are few (macros),
+    // so the quadratic loop is fine; overlapping blockages are merged per
+    // row to avoid double counting.
+    for (const Row& r : rows_) {
+        std::vector<Span> cuts;
+        const Rect row_rect{r.x, r.y, r.num_sites, 1};
+        for (const Rect& b : blockages_) {
+            const Rect ov = intersect(row_rect, b);
+            if (!ov.empty()) {
+                cuts.push_back(ov.x_span());
+            }
+        }
+        std::sort(cuts.begin(), cuts.end(),
+                  [](const Span& a, const Span& b2) { return a.lo < b2.lo; });
+        SiteCoord covered_hi = kSiteCoordMin;
+        for (const Span& c : cuts) {
+            const SiteCoord lo = std::max(c.lo, covered_hi);
+            if (c.hi > lo) {
+                total -= (c.hi - lo);
+                covered_hi = c.hi;
+            }
+        }
+    }
+    return total;
+}
+
+}  // namespace mrlg

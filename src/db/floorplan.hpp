@@ -1,0 +1,86 @@
+#pragma once
+/// \file floorplan.hpp
+/// Die outline, placement rows, site dimensions and placement blockages.
+///
+/// Rows are uniform-height (one site height each, paper §2) and indexed
+/// bottom-up: row i occupies y ∈ [i, i+1) in site units. Rows may start at
+/// different x origins / have different widths (non-rectangular dies).
+
+#include <vector>
+
+#include "db/types.hpp"
+#include "util/geometry.hpp"
+
+namespace mrlg {
+
+/// One placement row as defined by the floorplan (before blockage cuts).
+struct Row {
+    SiteCoord y = 0;        ///< Row index == lower y in site units.
+    SiteCoord x = 0;        ///< Leftmost site of the row.
+    SiteCoord num_sites = 0;  ///< Width in sites.
+
+    Span x_span() const { return Span{x, x + num_sites}; }
+    /// Bottom-rail phase of this row: rows alternate VDD/VSS, so parity is
+    /// the whole story (paper §2 constraint 4).
+    RailPhase rail_phase() const {
+        return (y % 2 == 0) ? RailPhase::kEven : RailPhase::kOdd;
+    }
+};
+
+class Floorplan {
+public:
+    Floorplan() = default;
+    /// Rectangular die helper: `num_rows` rows, each `sites_per_row` wide,
+    /// origin at (0,0).
+    Floorplan(SiteCoord num_rows, SiteCoord sites_per_row,
+              double site_w_um = 0.2, double site_h_um = 1.71);
+
+    // --- site dimensions (microns), for displacement/HPWL reporting -------
+    double site_w_um() const { return site_w_um_; }
+    double site_h_um() const { return site_h_um_; }
+    void set_site_dims_um(double w_um, double h_um) {
+        site_w_um_ = w_um;
+        site_h_um_ = h_um;
+    }
+
+    // --- rows ---------------------------------------------------------------
+    const std::vector<Row>& rows() const { return rows_; }
+    SiteCoord num_rows() const { return static_cast<SiteCoord>(rows_.size()); }
+    bool has_row(SiteCoord y) const { return y >= 0 && y < num_rows(); }
+    const Row& row(SiteCoord y) const;
+    /// Appends a row; rows must be added bottom-up with y == index.
+    void add_row(Row row);
+
+    // --- blockages ----------------------------------------------------------
+    /// A blockage removes its sites from every row it covers. Fixed macros
+    /// are registered here by Database::freeze_fixed_cells().
+    const std::vector<Rect>& blockages() const { return blockages_; }
+    void add_blockage(const Rect& r) { blockages_.push_back(r); }
+
+    // --- fence regions --------------------------------------------------
+    /// Declares the sites of `r` as belonging to fence `region` (> 0).
+    /// Fences of different regions must not overlap; blockages win over
+    /// fences. ISPD2015 semantics: fence members stay inside, core cells
+    /// stay outside (enforced by SegmentGrid / the legality checker).
+    void add_fence(int region, const Rect& r);
+    struct Fence {
+        int region;
+        Rect rect;
+    };
+    const std::vector<Fence>& fences() const { return fences_; }
+
+    /// Bounding box over all rows (site units).
+    Rect die() const;
+
+    /// Total non-blocked placement area in site units (sites × rows).
+    std::int64_t free_site_area() const;
+
+private:
+    std::vector<Row> rows_;
+    std::vector<Rect> blockages_;
+    std::vector<Fence> fences_;
+    double site_w_um_ = 0.2;
+    double site_h_um_ = 1.71;
+};
+
+}  // namespace mrlg

@@ -1,0 +1,36 @@
+#pragma once
+/// \file net.hpp
+/// Netlist: pins carry an offset from the owning cell's lower-left corner
+/// in fractional site units; HPWL is evaluated from pin positions.
+
+#include <string>
+#include <vector>
+
+#include "db/types.hpp"
+
+namespace mrlg {
+
+/// A pin belongs to exactly one cell and one net.
+struct Pin {
+    CellId cell;
+    NetId net;
+    /// Offset from cell lower-left, fractional site units.
+    double offset_x = 0.0;
+    double offset_y = 0.0;
+};
+
+class Net {
+public:
+    explicit Net(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+    const std::vector<PinId>& pins() const { return pins_; }
+    void add_pin(PinId pin) { pins_.push_back(pin); }
+    std::size_t degree() const { return pins_.size(); }
+
+private:
+    std::string name_;
+    std::vector<PinId> pins_;
+};
+
+}  // namespace mrlg

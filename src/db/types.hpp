@@ -1,0 +1,85 @@
+#pragma once
+/// \file types.hpp
+/// Strongly-typed identifiers and small enums shared by the database.
+///
+/// Ids are thin wrappers over an int32 index into the owning container;
+/// distinct tag types prevent a CellId being passed where a NetId is
+/// expected (Core Guidelines I.4: make interfaces precisely typed).
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace mrlg {
+
+namespace detail {
+
+template <typename Tag>
+class Id {
+public:
+    using underlying = std::int32_t;
+    static constexpr underlying kInvalid = -1;
+
+    constexpr Id() = default;
+    constexpr explicit Id(underlying v) : value_(v) {}
+
+    constexpr underlying value() const { return value_; }
+    constexpr bool valid() const { return value_ >= 0; }
+    constexpr std::size_t index() const {
+        return static_cast<std::size_t>(value_);
+    }
+
+    friend constexpr bool operator==(Id, Id) = default;
+    friend constexpr auto operator<=>(Id, Id) = default;
+
+private:
+    underlying value_ = kInvalid;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+    if (id.valid()) {
+        return os << id.value();
+    }
+    return os << "<invalid>";
+}
+
+}  // namespace detail
+
+struct CellTag {};
+struct NetTag {};
+struct PinTag {};
+struct SegmentTag {};
+
+/// Index of a cell in Database::cells().
+using CellId = detail::Id<CellTag>;
+/// Index of a net in Database::nets().
+using NetId = detail::Id<NetTag>;
+/// Index of a pin in Database::pins().
+using PinId = detail::Id<PinTag>;
+/// Index of a segment in SegmentGrid::segments().
+using SegmentId = detail::Id<SegmentTag>;
+
+/// Power-rail phase: which row parity the *bottom* edge of a cell must sit
+/// on so that its VDD/VSS rails line up (paper §2, constraint 4). Only
+/// binding for cells whose height is an even number of rows; odd-height
+/// cells can be flipped onto either parity.
+enum class RailPhase : std::uint8_t { kEven = 0, kOdd = 1 };
+
+/// Cell orientation. mrlg only distinguishes upright (N) from vertically
+/// flipped (FS), which is what power-rail matching needs.
+enum class Orient : std::uint8_t { kN = 0, kFS = 1 };
+
+inline const char* to_string(RailPhase p) {
+    return p == RailPhase::kEven ? "even" : "odd";
+}
+inline const char* to_string(Orient o) { return o == Orient::kN ? "N" : "FS"; }
+
+}  // namespace mrlg
+
+template <typename Tag>
+struct std::hash<mrlg::detail::Id<Tag>> {
+    std::size_t operator()(mrlg::detail::Id<Tag> id) const noexcept {
+        return std::hash<std::int32_t>{}(id.value());
+    }
+};

@@ -1,0 +1,83 @@
+#pragma once
+/// \file detailed_placer.hpp
+/// Wirelength-driven detailed placement with instant legalization — the
+/// application the paper builds MLL for (§1, citing Chow et al. ISPD'14
+/// and Popovych et al. DAC'14): every cell move goes through the MLL
+/// kernel, so the placement is legal after every single step.
+///
+/// The optimizer is a classic median-move improver: each cell's optimal
+/// region is the median of its connected pins (with the cell's own pins
+/// excluded); the cell is moved there via remove → mll_place, the exact
+/// HPWL delta is measured over the affected nets only, and the move is
+/// reverted (exactly, via mll_undo) unless it improves. Multi-row cells
+/// are first-class: MLL handles their row/parity constraints.
+
+#include <cstdint>
+
+#include "db/database.hpp"
+#include "db/segment.hpp"
+#include "legalize/mll.hpp"
+
+namespace mrlg {
+
+struct DetailedPlacementOptions {
+    MllOptions mll;
+    /// Improvement passes over all cells.
+    int max_passes = 2;
+    /// Skip cells whose preferred spot is within this many sites of the
+    /// current position (saves useless churn).
+    double min_move_sites = 1.0;
+    /// Accept a move only if it improves total HPWL by at least this (um).
+    double min_gain_um = 1e-9;
+    /// Process cells in descending estimated gain (distance to median)
+    /// instead of id order.
+    bool gain_ordered = true;
+};
+
+struct DetailedPlacementStats {
+    int passes = 0;
+    std::size_t moves_attempted = 0;
+    std::size_t moves_accepted = 0;
+    std::size_t mll_failures = 0;
+    double hpwl_before_um = 0.0;
+    double hpwl_after_um = 0.0;
+    double runtime_s = 0.0;
+
+    double improvement_pct() const {
+        return hpwl_before_um > 0
+                   ? (1.0 - hpwl_after_um / hpwl_before_um) * 100.0
+                   : 0.0;
+    }
+};
+
+/// Optimizes HPWL over all movable, placed cells of `db`. The placement
+/// must be legal on entry; it is legal after every accepted or rejected
+/// move (instant legalization).
+DetailedPlacementStats detailed_place(Database& db, SegmentGrid& grid,
+                                      const DetailedPlacementOptions& opts
+                                      = {});
+
+struct SwapOptions {
+    /// Candidate search radius around a cell's preferred region (sites).
+    SiteCoord radius = 40;
+    int max_passes = 1;
+    double min_gain_um = 1e-9;
+};
+
+struct SwapStats {
+    std::size_t swaps_attempted = 0;
+    std::size_t swaps_accepted = 0;
+    double hpwl_before_um = 0.0;
+    double hpwl_after_um = 0.0;
+    double runtime_s = 0.0;
+};
+
+/// Global-swap pass: exchanges pairs of placed cells with identical
+/// footprint (width, height), compatible rail phases and the same fence
+/// region when it lowers HPWL. A swap of identical footprints cannot
+/// create overlap, so the placement stays legal trivially — the classic
+/// companion operator to the median-move pass.
+SwapStats swap_pass(Database& db, SegmentGrid& grid,
+                    const SwapOptions& opts = {});
+
+}  // namespace mrlg

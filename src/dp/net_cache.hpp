@@ -1,0 +1,34 @@
+#pragma once
+/// \file net_cache.hpp
+/// Incremental per-net HPWL cache over legalized positions, shared by the
+/// detailed placer and the row polisher. Recomputing only the nets a move
+/// touches is what makes accept/reject loops cheap.
+
+#include <vector>
+
+#include "db/database.hpp"
+
+namespace mrlg {
+
+class NetHpwlCache {
+public:
+    explicit NetHpwlCache(const Database& db);
+
+    /// Total cached HPWL (microns).
+    double total() const { return total_; }
+    double cached(NetId n) const { return hpwl_[n.index()]; }
+
+    /// Recomputes `n` from current positions and returns the delta applied
+    /// to the total.
+    double refresh(NetId n);
+
+    /// Fresh (uncached) HPWL of `n` at current legalized positions.
+    double net_hpwl(NetId n) const;
+
+private:
+    const Database& db_;
+    std::vector<double> hpwl_;
+    double total_ = 0.0;
+};
+
+}  // namespace mrlg

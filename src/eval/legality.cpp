@@ -1,0 +1,112 @@
+#include "eval/legality.hpp"
+
+#include <algorithm>
+
+namespace mrlg {
+
+bool rail_compatible(SiteCoord y, SiteCoord height, RailPhase p) {
+    if (height % 2 != 0) {
+        return true;  // odd-height cells flip onto either parity
+    }
+    const RailPhase row_phase =
+        (y % 2 == 0) ? RailPhase::kEven : RailPhase::kOdd;
+    return row_phase == p;
+}
+
+bool position_legal_for_cell(const Database& db, const SegmentGrid& grid,
+                             CellId c, SiteCoord x, SiteCoord y,
+                             bool check_rail_alignment) {
+    const Cell& cell = db.cell(c);
+    if (y < 0 || y + cell.height() > db.floorplan().num_rows()) {
+        return false;
+    }
+    if (check_rail_alignment &&
+        !rail_compatible(y, cell.height(), cell.rail_phase())) {
+        return false;
+    }
+    const Span xs{x, x + cell.width()};
+    for (SiteCoord row = y; row < y + cell.height(); ++row) {
+        if (!grid.containing_segment(row, xs, cell.region()).valid()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+LegalityReport check_legality(const Database& db, const SegmentGrid& grid,
+                              const LegalityOptions& opts) {
+    LegalityReport rep;
+    auto note = [&](std::string msg) {
+        rep.legal = false;
+        if (rep.messages.size() < opts.max_messages) {
+            rep.messages.push_back(std::move(msg));
+        }
+    };
+
+    // Per-row slices of every placed movable cell, for the overlap sweep.
+    struct Slice {
+        SiteCoord x;
+        SiteCoord x_hi;
+        CellId cell;
+    };
+    const SiteCoord num_rows = db.floorplan().num_rows();
+    std::vector<std::vector<Slice>> per_row(
+        static_cast<std::size_t>(std::max<SiteCoord>(num_rows, 0)));
+
+    for (std::size_t i = 0; i < db.num_cells(); ++i) {
+        const Cell& cell = db.cells()[i];
+        const CellId id{static_cast<CellId::underlying>(i)};
+        if (cell.fixed()) {
+            continue;
+        }
+        if (!cell.placed()) {
+            if (opts.require_all_placed) {
+                ++rep.num_unplaced;
+                note("cell " + cell.name() + " is unplaced");
+            }
+            continue;
+        }
+        // Constraint 2+3: aligned, contained in segments row by row.
+        if (!position_legal_for_cell(db, grid, id, cell.x(), cell.y(),
+                                     /*check_rail_alignment=*/false)) {
+            ++rep.num_out_of_rows;
+            note("cell " + cell.name() + " outside rows/segments");
+        }
+        // Constraint 4.
+        if (opts.check_rail_alignment &&
+            !rail_compatible(cell.y(), cell.height(), cell.rail_phase())) {
+            ++rep.num_rail_violations;
+            note("cell " + cell.name() + " violates power-rail parity");
+        }
+        for (SiteCoord row = cell.y();
+             row < cell.y() + cell.height(); ++row) {
+            if (row >= 0 && row < num_rows) {
+                per_row[static_cast<std::size_t>(row)].push_back(
+                    Slice{cell.x(),
+                          static_cast<SiteCoord>(cell.x() + cell.width()),
+                          id});
+            }
+        }
+    }
+
+    // Constraint 1: per-row sweep; within a row, sorted slices must not
+    // overlap. Cross-row overlap of multi-row cells is covered because a
+    // multi-row cell contributes a slice to every row it crosses.
+    for (auto& row : per_row) {
+        std::sort(row.begin(), row.end(), [](const Slice& a, const Slice& b) {
+            return a.x < b.x || (a.x == b.x && a.cell < b.cell);
+        });
+        for (std::size_t i = 1; i < row.size(); ++i) {
+            if (row[i].x < row[i - 1].x_hi) {
+                ++rep.num_overlaps;
+                note("overlap between " + db.cell(row[i - 1].cell).name() +
+                     " and " + db.cell(row[i].cell).name());
+            }
+        }
+    }
+
+    static_cast<void>(grid);
+    return rep;
+}
+
+}  // namespace mrlg

@@ -1,0 +1,56 @@
+#pragma once
+/// \file legality.hpp
+/// Checker for the four legality constraints of paper §2:
+///   1. cells pairwise overlap-free,
+///   2. cells aligned to placement sites on rows,
+///   3. every row slice of a cell contained in a non-blocked row span,
+///   4. even-row-height cells on rows of matching power-rail parity.
+/// The checker is independent of SegmentGrid's internal lists (it re-derives
+/// overlaps with a per-row sweep), so it can catch grid bookkeeping bugs;
+/// a separate SegmentGrid::audit() validates the lists themselves.
+
+#include <string>
+#include <vector>
+
+#include "db/database.hpp"
+#include "db/segment.hpp"
+
+namespace mrlg {
+
+struct LegalityOptions {
+    /// Enforce constraint 4 (power-rail parity). Disabled for the paper's
+    /// "Power Line Not Aligned" experiment.
+    bool check_rail_alignment = true;
+    /// Require every movable cell to be placed.
+    bool require_all_placed = true;
+    /// Stop collecting messages after this many violations.
+    std::size_t max_messages = 32;
+};
+
+struct LegalityReport {
+    bool legal = true;
+    std::size_t num_overlaps = 0;
+    std::size_t num_out_of_rows = 0;
+    std::size_t num_rail_violations = 0;
+    std::size_t num_unplaced = 0;
+    std::vector<std::string> messages;
+
+    explicit operator bool() const { return legal; }
+};
+
+/// Full-design legality audit.
+LegalityReport check_legality(const Database& db, const SegmentGrid& grid,
+                              const LegalityOptions& opts = {});
+
+/// Single-cell check: would placing `c` at (x, y) be legal w.r.t. rows,
+/// blockages and rail parity (geometry only — no overlap test; use
+/// SegmentGrid::placeable for that)?
+bool position_legal_for_cell(const Database& db, const SegmentGrid& grid,
+                             CellId c, SiteCoord x, SiteCoord y,
+                             bool check_rail_alignment = true);
+
+/// True when an even-height cell with phase `p` may rest its bottom edge on
+/// row `y` (or any cell when `h` is odd).
+bool rail_compatible(SiteCoord y, SiteCoord height, RailPhase p);
+
+}  // namespace mrlg

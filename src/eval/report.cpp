@@ -1,0 +1,133 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "eval/legality.hpp"
+#include "eval/metrics.hpp"
+
+namespace mrlg {
+
+namespace {
+
+std::size_t bucket_of(double disp_sites) {
+    if (disp_sites < 1) return 0;
+    if (disp_sites < 2) return 1;
+    if (disp_sites < 4) return 2;
+    if (disp_sites < 8) return 3;
+    if (disp_sites < 16) return 4;
+    return 5;
+}
+
+}  // namespace
+
+const char* QualityReport::histogram_label(std::size_t bucket) {
+    switch (bucket) {
+        case 0: return "[ 0,  1)";
+        case 1: return "[ 1,  2)";
+        case 2: return "[ 2,  4)";
+        case 3: return "[ 4,  8)";
+        case 4: return "[ 8, 16)";
+        default: return "[16,  +)";
+    }
+}
+
+QualityReport make_quality_report(const Database& db, const SegmentGrid& grid,
+                                  bool check_rail) {
+    QualityReport rep;
+    rep.disp_histogram.assign(6, 0);
+    rep.disp_by_height.assign(4, 0.0);
+    rep.count_by_height.assign(4, 0);
+
+    const double sw = db.floorplan().site_w_um();
+    const double sh = db.floorplan().site_h_um();
+    std::vector<double> disps;
+    for (const Cell& c : db.cells()) {
+        if (c.fixed()) {
+            continue;
+        }
+        ++rep.num_cells;
+        if (!c.placed()) {
+            ++rep.num_unplaced;
+            continue;
+        }
+        const double d = (std::abs(c.x() - c.gp_x()) * sw +
+                          std::abs(c.y() - c.gp_y()) * sh) /
+                         sw;
+        disps.push_back(d);
+        rep.disp_histogram[bucket_of(d)] += 1;
+        const std::size_t hclass =
+            std::min<std::size_t>(static_cast<std::size_t>(c.height()), 4) -
+            1;
+        rep.disp_by_height[hclass] += d;
+        rep.count_by_height[hclass] += 1;
+    }
+    if (!disps.empty()) {
+        std::sort(disps.begin(), disps.end());
+        double sum = 0.0;
+        for (const double d : disps) {
+            sum += d;
+        }
+        rep.disp_avg = sum / static_cast<double>(disps.size());
+        rep.disp_median = disps[disps.size() / 2];
+        rep.disp_p95 = disps[disps.size() * 95 / 100 == disps.size()
+                                 ? disps.size() - 1
+                                 : disps.size() * 95 / 100];
+        rep.disp_max = disps.back();
+    }
+    for (std::size_t h = 0; h < 4; ++h) {
+        if (rep.count_by_height[h] > 0) {
+            rep.disp_by_height[h] /=
+                static_cast<double>(rep.count_by_height[h]);
+        }
+    }
+
+    rep.gp_hpwl_m = hpwl_m(db, PositionSource::kGlobalPlacement);
+    rep.legal_hpwl_m = hpwl_m(db, PositionSource::kLegalized);
+    rep.dhpwl_pct = rep.gp_hpwl_m > 0
+                        ? (rep.legal_hpwl_m / rep.gp_hpwl_m - 1.0) * 100.0
+                        : 0.0;
+
+    LegalityOptions lopts;
+    lopts.check_rail_alignment = check_rail;
+    rep.legal = check_legality(db, grid, lopts).legal;
+    return rep;
+}
+
+void print_quality_report(const QualityReport& rep, std::ostream& os) {
+    os << "placement quality report\n"
+       << "  cells               : " << rep.num_cells << " ("
+       << rep.num_unplaced << " unplaced)\n"
+       << "  legal               : " << (rep.legal ? "yes" : "NO") << "\n"
+       << std::fixed << std::setprecision(3)
+       << "  displacement (sites): avg " << rep.disp_avg << ", median "
+       << rep.disp_median << ", p95 " << rep.disp_p95 << ", max "
+       << rep.disp_max << "\n";
+    const std::size_t placed = rep.num_cells - rep.num_unplaced;
+    if (placed > 0) {
+        os << "  histogram:\n";
+        for (std::size_t b = 0; b < rep.disp_histogram.size(); ++b) {
+            const double frac =
+                static_cast<double>(rep.disp_histogram[b]) /
+                static_cast<double>(placed);
+            os << "    " << QualityReport::histogram_label(b) << " "
+               << std::setw(7) << rep.disp_histogram[b] << "  "
+               << std::string(static_cast<std::size_t>(frac * 40.0), '#')
+               << "\n";
+        }
+    }
+    os << "  by height (avg sites):";
+    for (std::size_t h = 0; h < rep.disp_by_height.size(); ++h) {
+        if (rep.count_by_height[h] > 0) {
+            os << "  " << (h + 1) << (h == 3 ? "+" : "") << "r="
+               << rep.disp_by_height[h];
+        }
+    }
+    os << "\n"
+       << std::setprecision(4) << "  HPWL                : "
+       << rep.gp_hpwl_m << " m -> " << rep.legal_hpwl_m << " m ("
+       << std::setprecision(2) << rep.dhpwl_pct << " %)\n";
+}
+
+}  // namespace mrlg

@@ -1,0 +1,48 @@
+#pragma once
+/// \file report.hpp
+/// Human-readable placement quality report: the summary block a production
+/// legalizer prints at the end of a run — displacement statistics with a
+/// histogram, per-height-class breakdown, HPWL, and legality counts.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "db/database.hpp"
+#include "db/segment.hpp"
+
+namespace mrlg {
+
+struct QualityReport {
+    // Displacement (site widths), over placed movable cells.
+    double disp_avg = 0.0;
+    double disp_median = 0.0;
+    double disp_p95 = 0.0;
+    double disp_max = 0.0;
+    /// Histogram buckets: [0,1), [1,2), [2,4), [4,8), [8,16), [16,inf).
+    std::vector<std::size_t> disp_histogram;
+    static const char* histogram_label(std::size_t bucket);
+
+    /// Per-height-class average displacement: index = height-1 (capped
+    /// at 4+); entries with zero cells hold 0.
+    std::vector<double> disp_by_height;
+    std::vector<std::size_t> count_by_height;
+
+    double gp_hpwl_m = 0.0;
+    double legal_hpwl_m = 0.0;
+    double dhpwl_pct = 0.0;
+
+    std::size_t num_cells = 0;
+    std::size_t num_unplaced = 0;
+    bool legal = false;
+};
+
+/// Gathers the report (runs the legality checker with default options but
+/// the given rail mode).
+QualityReport make_quality_report(const Database& db, const SegmentGrid& grid,
+                                  bool check_rail = true);
+
+/// Pretty-prints the report.
+void print_quality_report(const QualityReport& report, std::ostream& os);
+
+}  // namespace mrlg

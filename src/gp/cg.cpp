@@ -1,0 +1,122 @@
+#include "gp/cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mrlg::gp {
+
+void SpdMatrix::add_offdiag(std::size_t i, std::size_t j, double v) {
+    MRLG_ASSERT(i < n_ && j < n_ && i != j, "bad off-diagonal index");
+    if (i > j) {
+        std::swap(i, j);
+    }
+    off_.push_back(Entry{i, j, v});
+    finalized_ = false;
+}
+
+void SpdMatrix::finalize() {
+    std::sort(off_.begin(), off_.end(), [](const Entry& a, const Entry& b) {
+        return a.i < b.i || (a.i == b.i && a.j < b.j);
+    });
+    std::vector<Entry> merged;
+    merged.reserve(off_.size());
+    for (const Entry& e : off_) {
+        if (!merged.empty() && merged.back().i == e.i &&
+            merged.back().j == e.j) {
+            merged.back().v += e.v;
+        } else {
+            merged.push_back(e);
+        }
+    }
+    off_ = std::move(merged);
+    finalized_ = true;
+}
+
+void SpdMatrix::multiply(const std::vector<double>& x,
+                         std::vector<double>& y) const {
+    MRLG_ASSERT(finalized_, "finalize() before multiply()");
+    MRLG_ASSERT(x.size() == n_, "dimension mismatch");
+    y.assign(n_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i) {
+        y[i] = diag_[i] * x[i];
+    }
+    for (const Entry& e : off_) {
+        y[e.i] += e.v * x[e.j];
+        y[e.j] += e.v * x[e.i];
+    }
+}
+
+CgResult solve_pcg(const SpdMatrix& a, const std::vector<double>& b,
+                   std::vector<double>& x, int max_iters, double tol) {
+    const std::size_t n = a.size();
+    MRLG_ASSERT(b.size() == n, "rhs dimension mismatch");
+    if (x.size() != n) {
+        x.assign(n, 0.0);
+    }
+    std::vector<double> r(n);
+    std::vector<double> z(n);
+    std::vector<double> p(n);
+    std::vector<double> ap(n);
+
+    a.multiply(x, ap);
+    double bnorm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        r[i] = b[i] - ap[i];
+        bnorm += b[i] * b[i];
+    }
+    bnorm = std::sqrt(std::max(bnorm, 1e-30));
+
+    auto precond = [&](const std::vector<double>& rin,
+                       std::vector<double>& zout) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const double d = a.diag()[i];
+            zout[i] = d > 1e-12 ? rin[i] / d : rin[i];
+        }
+    };
+
+    precond(r, z);
+    p = z;
+    double rz = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        rz += r[i] * z[i];
+    }
+
+    CgResult result;
+    for (int it = 0; it < max_iters; ++it) {
+        a.multiply(p, ap);
+        double pap = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            pap += p[i] * ap[i];
+        }
+        if (std::abs(pap) < 1e-30) {
+            break;
+        }
+        const double alpha = rz / pap;
+        double rnorm = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+            rnorm += r[i] * r[i];
+        }
+        result.iterations = it + 1;
+        result.residual = std::sqrt(rnorm) / bnorm;
+        if (result.residual < tol) {
+            break;
+        }
+        precond(r, z);
+        double rz_new = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            rz_new += r[i] * z[i];
+        }
+        const double beta = rz_new / rz;
+        rz = rz_new;
+        for (std::size_t i = 0; i < n; ++i) {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    return result;
+}
+
+}  // namespace mrlg::gp

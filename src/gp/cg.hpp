@@ -1,0 +1,57 @@
+#pragma once
+/// \file cg.hpp
+/// Sparse symmetric positive-definite linear algebra for the quadratic
+/// placer: COO-assembled matrix + Jacobi-preconditioned conjugate gradient.
+
+#include <cstddef>
+#include <vector>
+
+namespace mrlg::gp {
+
+/// Symmetric sparse matrix assembled from (i, j, v) triplets; only the
+/// structure needed by CG (matrix-vector product) is provided.
+class SpdMatrix {
+public:
+    explicit SpdMatrix(std::size_t n) : n_(n), diag_(n, 0.0) {}
+
+    std::size_t size() const { return n_; }
+
+    /// Adds v to A[i][j] and A[j][i] (i != j), typically negative laplacian
+    /// off-diagonals.
+    void add_offdiag(std::size_t i, std::size_t j, double v);
+    /// Adds v to A[i][i].
+    void add_diag(std::size_t i, double v) { diag_[i] += v; }
+
+    /// Finalizes assembly (sorts/merges triplets). Must be called before
+    /// multiply().
+    void finalize();
+
+    /// y = A x.
+    void multiply(const std::vector<double>& x,
+                  std::vector<double>& y) const;
+
+    const std::vector<double>& diag() const { return diag_; }
+
+private:
+    struct Entry {
+        std::size_t i;
+        std::size_t j;
+        double v;
+    };
+    std::size_t n_;
+    std::vector<double> diag_;
+    std::vector<Entry> off_;  ///< Upper triangle (i < j) after finalize.
+    bool finalized_ = false;
+};
+
+struct CgResult {
+    int iterations = 0;
+    double residual = 0.0;
+};
+
+/// Solves A x = b by Jacobi-PCG, starting from the passed-in x.
+CgResult solve_pcg(const SpdMatrix& a, const std::vector<double>& b,
+                   std::vector<double>& x, int max_iters = 300,
+                   double tol = 1e-6);
+
+}  // namespace mrlg::gp

@@ -1,0 +1,29 @@
+#pragma once
+/// \file branch_bound.hpp
+/// Depth-first branch & bound over the integer variables of a Model, with
+/// LP-relaxation bounding via the two-phase simplex.
+
+#include "ilp/simplex.hpp"
+
+namespace mrlg::ilp {
+
+enum class MipStatus { kOptimal, kInfeasible, kNodeLimit };
+
+struct MipResult {
+    MipStatus status = MipStatus::kInfeasible;
+    std::vector<double> x;
+    double obj = 0.0;
+    std::size_t nodes = 0;
+};
+
+struct MipOptions {
+    std::size_t max_nodes = 100000;
+    double int_tol = 1e-6;
+    LpOptions lp;
+};
+
+/// Solves min cᵀx s.t. the model's constraints with the integrality flags
+/// respected.
+MipResult solve_mip(const Model& model, const MipOptions& opts = {});
+
+}  // namespace mrlg::ilp

@@ -1,0 +1,66 @@
+#include "ilp/model.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mrlg::ilp {
+
+int Model::add_var(double lb, double ub, double obj_coef, bool integer,
+                   std::string name) {
+    MRLG_ASSERT(lb <= ub, "variable with empty domain: " + name);
+    vars_.push_back(Variable{lb, ub, obj_coef, integer, std::move(name)});
+    return static_cast<int>(vars_.size()) - 1;
+}
+
+void Model::add_constraint(std::vector<Term> terms, Sense sense, double rhs) {
+    for (const Term& t : terms) {
+        MRLG_ASSERT(t.var >= 0 && t.var < num_vars(),
+                    "constraint references unknown variable");
+    }
+    cons_.push_back(Constraint{std::move(terms), sense, rhs});
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+    MRLG_ASSERT(x.size() == vars_.size(), "solution arity mismatch");
+    double obj = 0.0;
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+        obj += vars_[i].obj * x[i];
+    }
+    return obj;
+}
+
+bool Model::feasible(const std::vector<double>& x, double tol) const {
+    if (x.size() != vars_.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+        if (x[i] < vars_[i].lb - tol || x[i] > vars_[i].ub + tol) {
+            return false;
+        }
+        if (vars_[i].integer &&
+            std::abs(x[i] - std::round(x[i])) > tol) {
+            return false;
+        }
+    }
+    for (const Constraint& c : cons_) {
+        double lhs = 0.0;
+        for (const Term& t : c.terms) {
+            lhs += t.coef * x[static_cast<std::size_t>(t.var)];
+        }
+        switch (c.sense) {
+            case Sense::kLe:
+                if (lhs > c.rhs + tol) return false;
+                break;
+            case Sense::kGe:
+                if (lhs < c.rhs - tol) return false;
+                break;
+            case Sense::kEq:
+                if (std::abs(lhs - c.rhs) > tol) return false;
+                break;
+        }
+    }
+    return true;
+}
+
+}  // namespace mrlg::ilp

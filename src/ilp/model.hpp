@@ -1,0 +1,61 @@
+#pragma once
+/// \file model.hpp
+/// Tiny mixed-integer linear program builder. mrlg uses it to formulate the
+/// paper's §6 local-legalization ILP; it replaces the external `lpsolve`
+/// dependency (see DESIGN.md substitutions).
+///
+/// Minimization only. Variables carry bounds and an optional integrality
+/// flag; constraints are linear with sense <=, >= or ==.
+
+#include <string>
+#include <vector>
+
+namespace mrlg::ilp {
+
+enum class Sense : char { kLe = 'L', kGe = 'G', kEq = 'E' };
+
+struct Term {
+    int var;
+    double coef;
+};
+
+struct Constraint {
+    std::vector<Term> terms;
+    Sense sense = Sense::kLe;
+    double rhs = 0.0;
+};
+
+struct Variable {
+    double lb = 0.0;
+    double ub = 0.0;
+    double obj = 0.0;
+    bool integer = false;
+    std::string name;
+};
+
+class Model {
+public:
+    /// Adds a variable; returns its index.
+    int add_var(double lb, double ub, double obj_coef, bool integer = false,
+                std::string name = {});
+
+    /// Adds Σ terms (sense) rhs.
+    void add_constraint(std::vector<Term> terms, Sense sense, double rhs);
+
+    const std::vector<Variable>& vars() const { return vars_; }
+    const std::vector<Constraint>& constraints() const { return cons_; }
+    int num_vars() const { return static_cast<int>(vars_.size()); }
+    int num_constraints() const { return static_cast<int>(cons_.size()); }
+
+    /// Evaluates the objective at `x`.
+    double objective_value(const std::vector<double>& x) const;
+
+    /// True when `x` satisfies all bounds and constraints within `tol`.
+    bool feasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+private:
+    std::vector<Variable> vars_;
+    std::vector<Constraint> cons_;
+};
+
+}  // namespace mrlg::ilp

@@ -1,0 +1,77 @@
+#pragma once
+/// \file lefdef.hpp
+/// LEF/DEF-lite reader and DEF writer — the formats the ISPD2015 contest
+/// actually shipped (the paper's §6 benchmarks). This is deliberately a
+/// subset: enough grammar to ingest a detailed-placement benchmark and
+/// emit a legal DEF back.
+///
+/// Supported LEF:  UNITS DATABASE MICRONS, SITE (SIZE), MACRO (CLASS,
+///   SIZE, PIN/PORT/RECT — pin offset = centre of the first rect).
+/// Supported DEF:  VERSION, DESIGN, UNITS, DIEAREA, ROW, COMPONENTS
+///   (PLACED / FIXED / UNPLACED), REGIONS + GROUPS (fence regions), NETS
+///   (component pins only; PIN-to-die I/O pins are skipped).
+///
+/// Geometry is converted to mrlg's site units on load: LEF sizes must be
+/// integral multiples of the site; DEF placements snap from DBU.
+
+#include <string>
+#include <unordered_map>
+
+#include "db/database.hpp"
+
+namespace mrlg {
+
+struct LefPin {
+    std::string name;
+    double offset_x_um = 0.0;  ///< From macro lower-left.
+    double offset_y_um = 0.0;
+};
+
+struct LefMacro {
+    std::string name;
+    double w_um = 0.0;
+    double h_um = 0.0;
+    bool is_core = true;
+    std::unordered_map<std::string, LefPin> pins;
+};
+
+struct LefLibrary {
+    double site_w_um = 0.0;
+    double site_h_um = 0.0;
+    double dbu_per_micron = 1000.0;
+    std::unordered_map<std::string, LefMacro> macros;
+
+    const LefMacro* find_macro(const std::string& name) const {
+        const auto it = macros.find(name);
+        return it == macros.end() ? nullptr : &it->second;
+    }
+};
+
+/// Parses the LEF subset. Throws ParseError (from bookshelf.hpp's family —
+/// re-declared here to avoid the include) on malformed input.
+class LefDefError : public std::runtime_error {
+public:
+    explicit LefDefError(const std::string& msg)
+        : std::runtime_error(msg) {}
+};
+
+LefLibrary read_lef(const std::string& path);
+
+struct DefReadResult {
+    Database db;
+    std::string design_name;
+    /// DEF group name → mrlg region id (>= 1).
+    std::unordered_map<std::string, int> region_ids;
+};
+
+/// Parses the DEF subset against `lef`. Component positions become gp
+/// positions (and fixed cells are frozen); REGIONS/GROUPS become fence
+/// regions. The caller still runs Database::freeze_fixed_cells().
+DefReadResult read_def(const std::string& path, const LefLibrary& lef);
+
+/// Writes the current placement as DEF (components PLACED at legalized
+/// positions, or UNPLACED when a movable cell has none).
+void write_def(const Database& db, const LefLibrary& lef,
+               const std::string& path, const std::string& design);
+
+}  // namespace mrlg

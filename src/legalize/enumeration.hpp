@@ -1,0 +1,64 @@
+#pragma once
+/// \file enumeration.hpp
+/// Valid insertion-point enumeration (paper §5.1.2–5.1.3).
+///
+/// An insertion point is one gap per row for h_t vertically consecutive
+/// rows, such that a common target x exists (common cutline) and no
+/// multi-row local cell is straddled (intervals on opposite sides of a
+/// multi-row cell cannot combine — Fig. 8).
+///
+/// The scanline algorithm sorts interval endpoints; a queue Q[a][s] holds
+/// the currently-open intervals of row s that row-a intervals may combine
+/// with. Processing a left endpoint of interval I on row a emits
+/// {I} × Π_s Q[a][s] for every window of h_t consecutive rows containing a
+/// (Eq. (2)); gaps whose left cell is a multi-row cell clear the queues
+/// Q[a][s] for every row s that cell occupies.
+
+#include <vector>
+
+#include "legalize/insertion_interval.hpp"
+#include "legalize/local_problem.hpp"
+#include "legalize/target.hpp"
+
+namespace mrlg {
+
+struct InsertionPoint {
+    int k0 = 0;             ///< Bottom local row index.
+    std::vector<int> gaps;  ///< Gap index for rows k0 .. k0+h_t-1.
+    SiteCoord lo = 0;       ///< Feasible target x range (inclusive).
+    SiteCoord hi = 0;
+
+    friend bool operator==(const InsertionPoint&,
+                           const InsertionPoint&) = default;
+};
+
+struct EnumerationOptions {
+    /// Enforce power-rail parity on the target's bottom row.
+    bool check_rail = true;
+    /// Safety cap; enumeration stops (truncated=true) past this.
+    std::size_t max_points = 1u << 20;
+};
+
+struct EnumerationResult {
+    std::vector<InsertionPoint> points;
+    bool truncated = false;
+};
+
+/// Scanline enumeration — O(#points) after sorting the endpoints.
+EnumerationResult enumerate_insertion_points(
+    const LocalProblem& lp, const std::vector<InsertionInterval>& intervals,
+    const TargetSpec& target, const EnumerationOptions& opts = {});
+
+/// Reference implementation: all interval combinations per base row,
+/// filtered. Exponential in the worst case; used by tests and the
+/// enumeration ablation bench (§5.1.3 "computationally impractical").
+EnumerationResult naive_enumerate_insertion_points(
+    const LocalProblem& lp, const std::vector<InsertionInterval>& intervals,
+    const TargetSpec& target, const EnumerationOptions& opts = {});
+
+/// True when no multi-row local cell lies on different sides of the chosen
+/// gaps in different rows of the combination.
+bool insertion_point_consistent(const LocalProblem& lp,
+                                const InsertionPoint& point);
+
+}  // namespace mrlg

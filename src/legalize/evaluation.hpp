@@ -1,0 +1,67 @@
+#pragma once
+/// \file evaluation.hpp
+/// Insertion-point evaluation (paper §5.2, Fig. 9).
+///
+/// Every local cell's displacement as a function of the target position xt
+/// is a hinge: zero inside [xa_i, xb_i], slope ±1 outside (Eq. (3)). The
+/// optimal xt minimizes the sum of hinges plus the target's own |xt - x't|;
+/// the paper takes the median of the critical positions. We implement:
+///   * evaluate_insertion_point_approx — the paper's default: critical
+///     positions of the <= 2·h_t immediate neighbours only, O(h_t);
+///   * evaluate_insertion_point_exact  — critical positions of every local
+///     cell via the push-chain recursion over the neighbour DAG, O(|C_W|).
+
+#include <optional>
+#include <vector>
+
+#include "legalize/enumeration.hpp"
+#include "legalize/local_problem.hpp"
+#include "legalize/target.hpp"
+
+namespace mrlg {
+
+struct Evaluation {
+    bool feasible = false;
+    SiteCoord xt = 0;     ///< Chosen target x (site units).
+    double cost_um = 0.0; ///< Estimated displacement cost, microns
+                          ///< (locals' x moves + target's x and y move).
+};
+
+/// Hinge cost model: sum_i max(0, a_i - x) + sum_j max(0, x - b_j)
+/// + |x - pref|. `a` are left-cell critical positions (cell moves when the
+/// target goes below a_i), `b` right-cell ones.
+struct HingeSet {
+    std::vector<SiteCoord> a;
+    std::vector<SiteCoord> b;
+    double pref = 0.0;
+};
+
+/// Minimizes the hinge cost over integer x in [lo, hi] (lo <= hi required).
+/// Returns (argmin, cost). Cost unit: sites. Ties break toward smaller
+/// |x - pref|, then smaller x — deterministic across platforms.
+std::pair<SiteCoord, double> minimize_hinge_cost(const HingeSet& hinges,
+                                                 SiteCoord lo, SiteCoord hi);
+
+/// Paper §5.2 approximation: neighbours of the gap only.
+Evaluation evaluate_insertion_point_approx(const LocalProblem& lp,
+                                           const InsertionPoint& point,
+                                           const TargetSpec& target);
+
+/// Exact evaluation: critical positions for all local cells.
+Evaluation evaluate_insertion_point_exact(const LocalProblem& lp,
+                                          const InsertionPoint& point,
+                                          const TargetSpec& target);
+
+/// Exact critical positions for every local cell under `point`:
+/// result[i] = {xa, xb} with xa = -inf (kSiteCoordMin) when the cell can
+/// never be pushed left-ward chainwise, xb = +inf (kSiteCoordMax) likewise.
+/// Exposed for tests and the exact evaluator.
+struct CriticalPositions {
+    std::vector<SiteCoord> xa;  ///< Push-left thresholds (left-side cells).
+    std::vector<SiteCoord> xb;  ///< Push-right thresholds (right-side cells).
+};
+CriticalPositions compute_critical_positions(const LocalProblem& lp,
+                                             const InsertionPoint& point,
+                                             SiteCoord target_w);
+
+}  // namespace mrlg

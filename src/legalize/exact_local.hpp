@@ -1,0 +1,33 @@
+#pragma once
+/// \file exact_local.hpp
+/// Optimal solver for one extracted local legalization problem: enumerate
+/// every valid insertion point and evaluate each exactly. Because exact
+/// evaluation returns the true minimal total displacement of a point (the
+/// realization achieves exactly the hinge cost), the minimum over all
+/// points is the optimum of the local subproblem — the same problem the
+/// paper solves with an ILP (§6). Table 1's "ILP" columns are produced by
+/// running the legalizer with MllOptions::exact_evaluation = true, which
+/// routes through this evaluation; this header additionally exposes the
+/// single-problem oracle for tests and the src/ilp cross-validation.
+
+#include "legalize/enumeration.hpp"
+#include "legalize/local_problem.hpp"
+#include "legalize/target.hpp"
+
+namespace mrlg {
+
+struct ExactLocalSolution {
+    bool feasible = false;
+    InsertionPoint point;
+    SiteCoord xt = 0;
+    double cost_um = 0.0;
+    std::size_t num_points = 0;
+};
+
+/// Solves `lp` to optimality for inserting `target`. Runs the min/max
+/// packing itself (hence the mutable problem).
+ExactLocalSolution solve_local_exact(LocalProblem& lp,
+                                     const TargetSpec& target,
+                                     const EnumerationOptions& opts = {});
+
+}  // namespace mrlg

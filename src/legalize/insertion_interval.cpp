@@ -1,0 +1,40 @@
+#include "legalize/insertion_interval.hpp"
+
+namespace mrlg {
+
+std::vector<InsertionInterval> build_insertion_intervals(
+    const LocalProblem& lp, SiteCoord target_w) {
+    std::vector<InsertionInterval> out;
+    for (int k = 0; k < lp.num_rows(); ++k) {
+        if (!lp.has_row(k)) {
+            continue;
+        }
+        const LpRow& row = lp.row(k);
+        const int n = static_cast<int>(row.cells.size());
+        for (int gap = 0; gap <= n; ++gap) {
+            InsertionInterval iv;
+            iv.k = k;
+            iv.gap = gap;
+            if (gap == 0) {
+                iv.lo = row.span.lo;
+            } else {
+                const LpCell& left =
+                    lp.cell(row.cells[static_cast<std::size_t>(gap - 1)]);
+                iv.lo = left.xl + left.w;
+            }
+            if (gap == n) {
+                iv.hi = row.span.hi - target_w;
+            } else {
+                const LpCell& right =
+                    lp.cell(row.cells[static_cast<std::size_t>(gap)]);
+                iv.hi = right.xr - target_w;
+            }
+            if (iv.hi >= iv.lo) {
+                out.push_back(iv);
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace mrlg

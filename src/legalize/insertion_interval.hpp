@@ -1,0 +1,42 @@
+#pragma once
+/// \file insertion_interval.hpp
+/// Insertion intervals (paper §5.1.1): for every gap of every local row,
+/// the inclusive range [lo, hi] of x positions where the target cell could
+/// sit in that gap, derived from the leftmost/rightmost placements:
+///   gap between cells i and j:        [xl_i + w_i , xr_j − w_t]
+///   gap at the left segment wall:     [span.lo    , xr_j − w_t]
+///   gap at the right segment wall:    [xl_i + w_i , span.hi − w_t]
+/// Negative-length intervals (hi < lo) are discarded (Fig. 7(f)).
+
+#include <vector>
+
+#include "legalize/local_problem.hpp"
+
+namespace mrlg {
+
+struct InsertionInterval {
+    int k = 0;    ///< Local row index.
+    int gap = 0;  ///< Gap index in row k: between cells[gap-1] and cells[gap].
+    SiteCoord lo = 0;  ///< Leftmost feasible target x (inclusive).
+    SiteCoord hi = 0;  ///< Rightmost feasible target x (inclusive).
+
+    /// Local-cell index left of the gap, or -1 at the segment wall.
+    int left_cell(const LocalProblem& lp) const {
+        return gap > 0 ? lp.row(k).cells[static_cast<std::size_t>(gap - 1)]
+                       : -1;
+    }
+    /// Local-cell index right of the gap, or -1 at the segment wall.
+    int right_cell(const LocalProblem& lp) const {
+        const auto& cells = lp.row(k).cells;
+        return gap < static_cast<int>(cells.size())
+                   ? cells[static_cast<std::size_t>(gap)]
+                   : -1;
+    }
+};
+
+/// Builds all non-discarded intervals for a target of width `target_w`.
+/// Requires compute_minmax_placement to have run on `lp`.
+std::vector<InsertionInterval> build_insertion_intervals(
+    const LocalProblem& lp, SiteCoord target_w);
+
+}  // namespace mrlg

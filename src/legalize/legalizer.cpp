@@ -1,0 +1,189 @@
+#include "legalize/legalizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/legality.hpp"
+#include "legalize/greedy.hpp"
+#include "legalize/ripup.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace mrlg {
+
+Point nearest_aligned_position(const Database& db, CellId cell_id, double px,
+                               double py, bool check_rail) {
+    const Cell& cell = db.cell(cell_id);
+    const Floorplan& fp = db.floorplan();
+    const SiteCoord max_y =
+        std::max<SiteCoord>(0, fp.num_rows() - cell.height());
+
+    SiteCoord y = static_cast<SiteCoord>(std::lround(py));
+    y = std::clamp<SiteCoord>(y, 0, max_y);
+    if (check_rail && !rail_compatible(y, cell.height(), cell.rail_phase())) {
+        // Even-height cell on the wrong parity: pick the closer adjacent
+        // row of correct parity.
+        const SiteCoord up = y + 1 <= max_y ? y + 1 : y - 1;
+        const SiteCoord down = y - 1 >= 0 ? y - 1 : y + 1;
+        const double du = std::abs(static_cast<double>(up) - py);
+        const double dd = std::abs(static_cast<double>(down) - py);
+        y = du <= dd ? up : down;
+        y = std::clamp<SiteCoord>(y, 0, max_y);
+        if (!rail_compatible(y, cell.height(), cell.rail_phase())) {
+            // Die edge forced us to the wrong parity; step inward.
+            y = std::clamp<SiteCoord>(y + (y == 0 ? 1 : -1), 0, max_y);
+        }
+    }
+
+    // Clamp x into the intersection of the rows the cell will span.
+    SiteCoord x_lo = kSiteCoordMin;
+    SiteCoord x_hi = kSiteCoordMax;
+    for (SiteCoord r = y; r < y + cell.height() && fp.has_row(r); ++r) {
+        const Row& row = fp.row(r);
+        x_lo = std::max(x_lo, row.x);
+        x_hi = std::min(x_hi,
+                        static_cast<SiteCoord>(row.x + row.num_sites -
+                                               cell.width()));
+    }
+    SiteCoord x = static_cast<SiteCoord>(std::lround(px));
+    if (x_lo <= x_hi) {
+        x = std::clamp(x, x_lo, x_hi);
+    }
+    return Point{x, y};
+}
+
+LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
+                                  const LegalizerOptions& opts) {
+    Timer timer;
+    LegalizerStats stats;
+    Rng rng(opts.seed);
+
+    std::vector<CellId> order = db.movable_cells();
+    stats.num_cells = order.size();
+    switch (opts.order) {
+        case LegalizerOptions::Order::kInputOrder:
+            break;
+        case LegalizerOptions::Order::kLeftToRight:
+            std::sort(order.begin(), order.end(), [&](CellId a, CellId b) {
+                return db.cell(a).gp_x() < db.cell(b).gp_x();
+            });
+            break;
+        case LegalizerOptions::Order::kAreaDescending:
+            std::stable_sort(order.begin(), order.end(),
+                             [&](CellId a, CellId b) {
+                                 const auto& ca = db.cell(a);
+                                 const auto& cb = db.cell(b);
+                                 return ca.width() * ca.height() >
+                                        cb.width() * cb.height();
+                             });
+            break;
+        case LegalizerOptions::Order::kMultiRowFirst:
+            std::stable_sort(order.begin(), order.end(),
+                             [&](CellId a, CellId b) {
+                                 return db.cell(a).height() >
+                                        db.cell(b).height();
+                             });
+            break;
+    }
+
+    if (opts.unplace_first) {
+        for (const CellId c : order) {
+            if (db.cell(c).placed()) {
+                grid.remove(db, c);
+            }
+        }
+    }
+
+    std::vector<CellId> unplaced;
+    for (const CellId c : order) {
+        if (!db.cell(c).placed()) {
+            unplaced.push_back(c);
+        }
+    }
+
+    auto try_place = [&](CellId c, double px, double py,
+                         bool allow_fallback, bool allow_ripup) -> bool {
+        const Point p =
+            nearest_aligned_position(db, c, px, py, opts.mll.check_rail);
+        const Cell& cell = db.cell(c);
+        const Rect fitted{p.x, p.y, cell.width(), cell.height()};
+        if ((!opts.mll.check_rail ||
+             rail_compatible(p.y, cell.height(), cell.rail_phase())) &&
+            grid.placeable(db, fitted, CellId{}, cell.region())) {
+            grid.place(db, c, p.x, p.y);
+            ++stats.direct_placements;
+            return true;
+        }
+        const MllResult r = mll_place(db, grid, c, px, py, opts.mll);
+        if (r.success()) {
+            ++stats.mll_successes;
+            return true;
+        }
+        ++stats.mll_failures;
+        if (allow_fallback) {
+            // Deterministic tail handling: snap to the nearest free slot
+            // around the *original* gp position (not the jittered one).
+            const auto slot = find_nearest_free_position(
+                db, grid, c, cell.gp_x(), cell.gp_y(),
+                opts.mll.check_rail);
+            if (slot) {
+                grid.place(db, c, slot->x, slot->y);
+                ++stats.fallback_placements;
+                return true;
+            }
+        }
+        if (allow_ripup) {
+            RipupOptions ropts;
+            ropts.mll = opts.mll;
+            const RipupResult rr = ripup_place(db, grid, c, cell.gp_x(),
+                                               cell.gp_y(), ropts);
+            if (rr.success) {
+                ++stats.ripup_placements;
+                return true;
+            }
+        }
+        return false;
+    };
+
+    // Round 1: input positions (Algorithm 1 lines 2-7). Later rounds:
+    // growing random offsets (lines 9-17).
+    for (int round = 1; !unplaced.empty() && round <= opts.max_rounds;
+         ++round) {
+        stats.rounds = round;
+        std::vector<CellId> still_unplaced;
+        for (const CellId c : unplaced) {
+            const Cell& cell = db.cell(c);
+            double px = cell.gp_x();
+            double py = cell.gp_y();
+            if (round > 1) {
+                const SiteCoord range_x =
+                    static_cast<SiteCoord>(opts.mll.rx) * (round - 1);
+                const SiteCoord range_y =
+                    static_cast<SiteCoord>(opts.mll.ry) * (round - 1);
+                px += static_cast<double>(rng.uniform(-range_x, range_x));
+                py += static_cast<double>(rng.uniform(-range_y, range_y));
+            }
+            if (!try_place(c, px, py,
+                           round >= opts.free_slot_fallback_round,
+                           opts.enable_ripup &&
+                               round >= opts.free_slot_fallback_round + 2)) {
+                still_unplaced.push_back(c);
+            }
+        }
+        unplaced = std::move(still_unplaced);
+    }
+
+    stats.unplaced = unplaced.size();
+    stats.success = unplaced.empty();
+    stats.runtime_s = timer.elapsed_s();
+    if (!stats.success) {
+        MRLG_LOG(kWarn) << "legalization left " << stats.unplaced
+                        << " cells unplaced after " << stats.rounds
+                        << " rounds";
+    }
+    return stats;
+}
+
+}  // namespace mrlg

@@ -1,0 +1,77 @@
+#pragma once
+/// \file legalizer.hpp
+/// Full-design incremental legalization (paper §3, Algorithm 1):
+/// first pass places every cell at (or MLL-legalizes around) its global
+/// placement position; cells that could not be placed are retried with
+/// uniformly random offsets whose range grows with the round number
+/// (Rand_x(k) ∈ [-Rx·(k-1), Rx·(k-1)], likewise Rand_y).
+
+#include <cstdint>
+
+#include "db/database.hpp"
+#include "db/segment.hpp"
+#include "legalize/mll.hpp"
+
+namespace mrlg {
+
+struct LegalizerOptions {
+    MllOptions mll;
+    std::uint64_t seed = 1;
+    /// Bound on retry rounds (Algorithm 1's while-loop runs until empty;
+    /// we guard against infeasible inputs). A round whose offsets reach
+    /// the die size effectively searches everywhere.
+    int max_rounds = 64;
+    enum class Order {
+        kInputOrder,   ///< Paper: "arbitrary order".
+        kLeftToRight,  ///< Sort by gp x.
+        kAreaDescending,
+        /// Multi-row cells first (input order within each group). Single-
+        /// row cells can always squeeze into leftover gaps, but a late
+        /// multi-row cell can be starved when earlier single-row cells
+        /// consume the paired-row capacity (MLL never moves a placed cell
+        /// across rows, §4). The paper leaves the order "arbitrary"; this
+        /// is the robust arbitrary choice, and the default.
+        kMultiRowFirst,
+    };
+    Order order = Order::kMultiRowFirst;
+    /// Unplace all movable cells before starting (Algorithm 1 line 1).
+    bool unplace_first = true;
+    /// From this retry round on, a failed MLL attempt additionally falls
+    /// back to the nearest completely free slot (deterministic; no cells
+    /// moved). Algorithm 1's random offsets alone can keep missing the
+    /// few remaining free pockets on very dense designs; the fallback
+    /// bounds the tail. Set past max_rounds to disable.
+    int free_slot_fallback_round = 6;
+    /// Last resort, two rounds after the free-slot fallback: evict
+    /// single-row cells under a candidate footprint, place the target and
+    /// re-insert the evicted cells (transactional — see ripup.hpp).
+    /// Rescues multi-row cells whose paired-row capacity was starved.
+    bool enable_ripup = true;
+};
+
+struct LegalizerStats {
+    bool success = false;       ///< Every movable cell placed.
+    std::size_t num_cells = 0;
+    std::size_t direct_placements = 0;  ///< Overlap-free at first try.
+    std::size_t mll_successes = 0;
+    std::size_t mll_failures = 0;  ///< Failed MLL attempts (incl. retries).
+    std::size_t fallback_placements = 0;  ///< Free-slot fallback hits.
+    std::size_t ripup_placements = 0;     ///< Rip-up transactions applied.
+    std::size_t unplaced = 0;      ///< Cells still unplaced at the end.
+    int rounds = 0;
+    double runtime_s = 0.0;
+};
+
+/// Legalizes every movable cell of `db`. Fixed cells must already be
+/// frozen into the floorplan (Database::freeze_fixed_cells) and `grid`
+/// built afterwards.
+LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
+                                  const LegalizerOptions& opts = {});
+
+/// Rounds the preferred fractional position to the nearest site-aligned,
+/// in-die, rail-compatible position for `cell` (paper §3 "nearest
+/// site-aligned and power-rail matching position").
+Point nearest_aligned_position(const Database& db, CellId cell, double px,
+                               double py, bool check_rail);
+
+}  // namespace mrlg

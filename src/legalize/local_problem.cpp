@@ -1,0 +1,80 @@
+#include "legalize/local_problem.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace mrlg {
+
+LocalProblem LocalProblem::build(const Database& db,
+                                 const LocalRegion& region) {
+    LocalProblem lp;
+    lp.y0_ = region.y0();
+    lp.site_w_um_ = db.floorplan().site_w_um();
+    lp.site_h_um_ = db.floorplan().site_h_um();
+    lp.rows_.resize(static_cast<std::size_t>(region.height()));
+
+    std::unordered_map<CellId, int> index_of;
+    index_of.reserve(region.local_cells().size());
+    for (const CellId id : region.local_cells()) {
+        const Cell& c = db.cell(id);
+        const int idx = static_cast<int>(lp.cells_.size());
+        index_of.emplace(id, idx);
+        LpCell lc;
+        lc.id = id;
+        lc.x = c.x();
+        lc.w = c.width();
+        lc.y = c.y();
+        lc.h = c.height();
+        lc.k0 = region.row_index(c.y());
+        MRLG_ASSERT(lc.k0 >= 0, "local cell outside region rows");
+        lc.pos_in_row.assign(static_cast<std::size_t>(lc.h), -1);
+        lp.cells_.push_back(std::move(lc));
+    }
+
+    for (int k = 0; k < region.height(); ++k) {
+        LpRow& row = lp.rows_[static_cast<std::size_t>(k)];
+        if (!region.has_row(k)) {
+            continue;
+        }
+        const LocalRow& lr = region.row(k);
+        row.present = true;
+        row.y = lr.y;
+        row.span = lr.span;
+        row.cells.reserve(lr.cells.size());
+        for (const CellId id : lr.cells) {
+            const auto it = index_of.find(id);
+            MRLG_ASSERT(it != index_of.end(),
+                        "row lists a cell missing from local set");
+            const int ci = it->second;
+            LpCell& lc = lp.cells_[static_cast<std::size_t>(ci)];
+            const int j = k - lc.k0;
+            MRLG_ASSERT(j >= 0 && j < lc.h, "cell listed on a row outside "
+                                            "its footprint");
+            lc.pos_in_row[static_cast<std::size_t>(j)] =
+                static_cast<int>(row.cells.size());
+            row.cells.push_back(ci);
+        }
+    }
+
+    for (const LpCell& c : lp.cells_) {
+        for (const int pos : c.pos_in_row) {
+            MRLG_ASSERT(pos >= 0, "local cell missing from a row list");
+        }
+        static_cast<void>(c);
+    }
+
+    lp.by_x_.resize(lp.cells_.size());
+    for (std::size_t i = 0; i < lp.cells_.size(); ++i) {
+        lp.by_x_[i] = static_cast<int>(i);
+    }
+    std::sort(lp.by_x_.begin(), lp.by_x_.end(), [&](int a, int b) {
+        const LpCell& ca = lp.cells_[static_cast<std::size_t>(a)];
+        const LpCell& cb = lp.cells_[static_cast<std::size_t>(b)];
+        return ca.x < cb.x || (ca.x == cb.x && a < b);
+    });
+    return lp;
+}
+
+}  // namespace mrlg

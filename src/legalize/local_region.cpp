@@ -1,0 +1,250 @@
+#include "legalize/local_region.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace mrlg {
+
+namespace {
+
+/// Distance from span to a point, in doubled coordinates (0 when inside).
+SiteCoord span_distance2(const Span& s, SiteCoord cx2) {
+    const SiteCoord lo2 = 2 * s.lo;
+    const SiteCoord hi2 = 2 * s.hi;
+    if (cx2 < lo2) {
+        return lo2 - cx2;
+    }
+    if (cx2 > hi2) {
+        return cx2 - hi2;
+    }
+    return 0;
+}
+
+/// Subtracts `cut` from every span in `pieces` (in place).
+void subtract(std::vector<Span>& pieces, const Span& cut) {
+    std::vector<Span> out;
+    out.reserve(pieces.size() + 1);
+    for (const Span& p : pieces) {
+        if (!p.overlaps(cut)) {
+            out.push_back(p);
+            continue;
+        }
+        if (cut.lo > p.lo) {
+            out.push_back(Span{p.lo, cut.lo});
+        }
+        if (cut.hi < p.hi) {
+            out.push_back(Span{cut.hi, p.hi});
+        }
+    }
+    pieces = std::move(out);
+}
+
+/// Picks the piece closest to centre x (doubled coords); ties broken by
+/// larger width then smaller lo, so the choice is deterministic.
+std::optional<std::size_t> pick_piece(const std::vector<Span>& pieces,
+                                      SiteCoord cx2) {
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+        if (pieces[i].empty()) {
+            continue;
+        }
+        if (!best) {
+            best = i;
+            continue;
+        }
+        const Span& a = pieces[i];
+        const Span& b = pieces[*best];
+        const SiteCoord da = span_distance2(a, cx2);
+        const SiteCoord db = span_distance2(b, cx2);
+        if (da < db || (da == db && (a.length() > b.length() ||
+                                     (a.length() == b.length() &&
+                                      a.lo < b.lo)))) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+LocalRegion extract_local_region(const Database& db, const SegmentGrid& grid,
+                                 const Rect& window, int fence_region) {
+    const SiteCoord num_rows = db.floorplan().num_rows();
+    const SiteCoord y_lo = std::max<SiteCoord>(window.y, 0);
+    const SiteCoord y_hi = std::min<SiteCoord>(window.y_hi(), num_rows);
+    const std::size_t height =
+        y_hi > y_lo ? static_cast<std::size_t>(y_hi - y_lo) : 0;
+
+    LocalRegion region(window, y_lo, height);
+    if (height == 0) {
+        return region;
+    }
+    const SiteCoord cx2 = window.center2().x;
+
+    // Per row: candidate pieces (span within window, cut by blockers) and
+    // the global segment each piece came from.
+    struct RowState {
+        std::vector<Span> pieces;
+        std::vector<SegmentId> piece_segment;
+        std::optional<std::size_t> chosen;
+    };
+    std::vector<RowState> state(height);
+
+    // `blockers` = cells currently known to be non-local. Initially: every
+    // placed cell whose rect is not fully contained in the window.
+    std::unordered_set<CellId> blockers;
+
+    auto rebuild_row = [&](std::size_t k) {
+        RowState& rs = state[k];
+        rs.pieces.clear();
+        rs.piece_segment.clear();
+        const SiteCoord y = y_lo + static_cast<SiteCoord>(k);
+        for (const SegmentId sid : grid.row_segments(y)) {
+            const Segment& seg = grid.segment(sid);
+            if (seg.region != fence_region) {
+                continue;  // other fence regions are hard walls
+            }
+            const Span base = intersect(seg.span, window.x_span());
+            if (base.empty()) {
+                continue;
+            }
+            std::vector<Span> pieces{base};
+            // Cut by blocker cells on this segment.
+            const auto [first, last] =
+                grid.cells_overlapping(db, seg, base);
+            for (std::size_t i = first; i < last; ++i) {
+                const CellId c = seg.cells[i];
+                if (blockers.count(c) != 0) {
+                    const Cell& cell = db.cell(c);
+                    subtract(pieces,
+                             Span{cell.x(), cell.x() + cell.width()});
+                }
+            }
+            for (const Span& p : pieces) {
+                rs.pieces.push_back(p);
+                rs.piece_segment.push_back(sid);
+            }
+        }
+        rs.chosen = pick_piece(rs.pieces, cx2);
+    };
+
+    // Seed initial blockers: any placed cell overlapping the window rows
+    // whose rect is not contained in the window.
+    for (SiteCoord y = y_lo; y < y_hi; ++y) {
+        for (const SegmentId sid : grid.row_segments(y)) {
+            const Segment& seg = grid.segment(sid);
+            if (seg.region != fence_region) {
+                continue;
+            }
+            const Span base = intersect(seg.span, window.x_span());
+            if (base.empty()) {
+                continue;
+            }
+            const auto [first, last] = grid.cells_overlapping(db, seg, base);
+            for (std::size_t i = first; i < last; ++i) {
+                const CellId c = seg.cells[i];
+                if (!window.contains(db.cell(c).rect())) {
+                    blockers.insert(c);
+                }
+            }
+        }
+    }
+
+    for (std::size_t k = 0; k < height; ++k) {
+        rebuild_row(k);
+    }
+
+    // Fixpoint: a cell is local iff every row slice lies inside the chosen
+    // piece of that row. Any cell that overlaps a chosen piece without being
+    // local becomes a blocker; blockers grow monotonically, so this
+    // terminates (each iteration either adds a blocker or stops).
+    auto cell_is_local = [&](CellId c) {
+        const Cell& cell = db.cell(c);
+        if (blockers.count(c) != 0) {
+            return false;
+        }
+        const Span xs{cell.x(), cell.x() + cell.width()};
+        for (SiteCoord y = cell.y(); y < cell.y() + cell.height(); ++y) {
+            const SiteCoord k = y - y_lo;
+            if (k < 0 || static_cast<std::size_t>(k) >= height) {
+                return false;
+            }
+            const RowState& rs = state[static_cast<std::size_t>(k)];
+            if (!rs.chosen || !rs.pieces[*rs.chosen].contains(xs)) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t k = 0; k < height && !changed; ++k) {
+            const RowState& rs = state[k];
+            if (!rs.chosen) {
+                continue;
+            }
+            const Span piece = rs.pieces[*rs.chosen];
+            const SegmentId sid = rs.piece_segment[*rs.chosen];
+            const Segment& seg = grid.segment(sid);
+            const auto [first, last] = grid.cells_overlapping(db, seg, piece);
+            for (std::size_t i = first; i < last; ++i) {
+                const CellId c = seg.cells[i];
+                const Cell& cell = db.cell(c);
+                const Span xs{cell.x(), cell.x() + cell.width()};
+                if (!xs.overlaps(piece)) {
+                    continue;
+                }
+                if (!cell_is_local(c) && blockers.count(c) == 0) {
+                    blockers.insert(c);
+                    // Rebuild every row the blocker touches.
+                    for (SiteCoord y = cell.y();
+                         y < cell.y() + cell.height(); ++y) {
+                        const SiteCoord kk = y - y_lo;
+                        if (kk >= 0 &&
+                            static_cast<std::size_t>(kk) < height) {
+                            rebuild_row(static_cast<std::size_t>(kk));
+                        }
+                    }
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Emit final rows and local cell lists.
+    std::vector<CellId> locals;
+    for (std::size_t k = 0; k < height; ++k) {
+        const RowState& rs = state[k];
+        if (!rs.chosen) {
+            continue;
+        }
+        const Span piece = rs.pieces[*rs.chosen];
+        const SegmentId sid = rs.piece_segment[*rs.chosen];
+        const Segment& seg = grid.segment(sid);
+        LocalRow lr;
+        lr.y = y_lo + static_cast<SiteCoord>(k);
+        lr.span = piece;
+        lr.global_segment = sid;
+        const auto [first, last] = grid.cells_overlapping(db, seg, piece);
+        for (std::size_t i = first; i < last; ++i) {
+            const CellId c = seg.cells[i];
+            if (cell_is_local(c)) {
+                lr.cells.push_back(c);
+                if (db.cell(c).y() == lr.y) {  // count each cell once
+                    locals.push_back(c);
+                }
+            }
+        }
+        region.mutable_row(static_cast<int>(k)) = std::move(lr);
+    }
+    std::sort(locals.begin(), locals.end());
+    region.set_local_cells(std::move(locals));
+    return region;
+}
+
+}  // namespace mrlg

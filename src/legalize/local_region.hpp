@@ -1,0 +1,78 @@
+#pragma once
+/// \file local_region.hpp
+/// Local region extraction (paper §2.1.3): given a window W, select one
+/// "local segment" per row (the non-blocked, non-local-cell-free run
+/// closest to the window centre) and classify cells into local (free to
+/// shift in x during MLL) and non-local (frozen, acting as obstacles).
+
+#include <optional>
+#include <vector>
+
+#include "db/database.hpp"
+#include "db/segment.hpp"
+
+namespace mrlg {
+
+/// One row's selected local segment.
+struct LocalRow {
+    SiteCoord y = 0;           ///< Absolute row index.
+    Span span;                 ///< Absolute x range of the local segment.
+    SegmentId global_segment;  ///< Enclosing SegmentGrid segment.
+    /// Local cells whose footprint crosses this row, ordered by x.
+    std::vector<CellId> cells;
+};
+
+/// Extracted localized placement problem. Row k of the region corresponds
+/// to absolute row y0() + k; a row may be absent (no usable segment).
+class LocalRegion {
+public:
+    LocalRegion(Rect window, SiteCoord y0, std::size_t height)
+        : window_(window), y0_(y0), rows_(height) {}
+
+    const Rect& window() const { return window_; }
+    SiteCoord y0() const { return y0_; }
+    int height() const { return static_cast<int>(rows_.size()); }
+
+    bool has_row(int k) const {
+        return k >= 0 && k < height() && rows_[static_cast<std::size_t>(k)];
+    }
+    const LocalRow& row(int k) const { return *rows_[static_cast<std::size_t>(k)]; }
+
+    /// All distinct local cells (a multi-row cell is listed once).
+    const std::vector<CellId>& local_cells() const { return local_cells_; }
+
+    /// Local row index for absolute row y, or -1 when outside the region.
+    int row_index(SiteCoord y) const {
+        const SiteCoord k = y - y0_;
+        return (k >= 0 && k < static_cast<SiteCoord>(rows_.size()))
+                   ? static_cast<int>(k)
+                   : -1;
+    }
+
+    // Builder access (used by extract_local_region).
+    std::optional<LocalRow>& mutable_row(int k) {
+        return rows_[static_cast<std::size_t>(k)];
+    }
+    void set_local_cells(std::vector<CellId> cells) {
+        local_cells_ = std::move(cells);
+    }
+
+private:
+    Rect window_;
+    SiteCoord y0_;
+    std::vector<std::optional<LocalRow>> rows_;
+    std::vector<CellId> local_cells_;
+};
+
+/// Extracts the localized problem inside `window`.
+///
+/// Implementation note: the paper defines non-local cells in two layers
+/// (cells not fully inside W, then cells inside W but not contained in the
+/// chosen local segments). A cell of the second kind that overlaps a chosen
+/// local segment must additionally *cut* it (it will not move, so its sites
+/// are unusable). We run the selection to a fixpoint: blockers accumulate
+/// monotonically, so this terminates.
+LocalRegion extract_local_region(const Database& db, const SegmentGrid& grid,
+                                 const Rect& window, int fence_region = 0);
+
+}  // namespace mrlg

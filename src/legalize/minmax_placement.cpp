@@ -1,0 +1,57 @@
+#include "legalize/minmax_placement.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace mrlg {
+
+void compute_minmax_placement(LocalProblem& lp) {
+    auto& cells = lp.mutable_cells();
+    const int num_rows = lp.num_rows();
+
+    // Leftmost: sweep cells in ascending x; each row keeps the frontier
+    // (first free site). A cell's leftmost x is the max frontier over the
+    // rows it spans.
+    std::vector<SiteCoord> frontier(static_cast<std::size_t>(num_rows), 0);
+    for (int k = 0; k < num_rows; ++k) {
+        if (lp.has_row(k)) {
+            frontier[static_cast<std::size_t>(k)] = lp.row(k).span.lo;
+        }
+    }
+    for (const int ci : lp.by_x()) {
+        LpCell& c = cells[static_cast<std::size_t>(ci)];
+        SiteCoord xl = kSiteCoordMin;
+        for (SiteCoord j = 0; j < c.h; ++j) {
+            xl = std::max(frontier[static_cast<std::size_t>(c.k0 + j)], xl);
+        }
+        c.xl = xl;
+        MRLG_ASSERT(c.xl <= c.x, "leftmost packing exceeds current position "
+                                 "(input placement not legal?)");
+        for (SiteCoord j = 0; j < c.h; ++j) {
+            frontier[static_cast<std::size_t>(c.k0 + j)] = c.xl + c.w;
+        }
+    }
+
+    // Rightmost: mirror sweep in descending x.
+    for (int k = 0; k < num_rows; ++k) {
+        if (lp.has_row(k)) {
+            frontier[static_cast<std::size_t>(k)] = lp.row(k).span.hi;
+        }
+    }
+    for (auto it = lp.by_x().rbegin(); it != lp.by_x().rend(); ++it) {
+        LpCell& c = cells[static_cast<std::size_t>(*it)];
+        SiteCoord hi = kSiteCoordMax;
+        for (SiteCoord j = 0; j < c.h; ++j) {
+            hi = std::min(frontier[static_cast<std::size_t>(c.k0 + j)], hi);
+        }
+        c.xr = hi - c.w;
+        MRLG_ASSERT(c.xr >= c.x, "rightmost packing below current position "
+                                 "(input placement not legal?)");
+        for (SiteCoord j = 0; j < c.h; ++j) {
+            frontier[static_cast<std::size_t>(c.k0 + j)] = c.xr;
+        }
+    }
+}
+
+}  // namespace mrlg

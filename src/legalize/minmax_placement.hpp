@@ -1,0 +1,18 @@
+#pragma once
+/// \file minmax_placement.hpp
+/// Leftmost/rightmost placements of the local cells (paper §5.1.1, Fig. 6):
+/// the legal placements that pack every local cell as far left (right) as
+/// possible while keeping each row's relative order. Multi-row cells couple
+/// rows, so packing is a sweep over cells in global x order with one
+/// frontier per row — equivalent to longest-path over the neighbour DAG.
+
+#include "legalize/local_problem.hpp"
+
+namespace mrlg {
+
+/// Fills LpCell::xl and LpCell::xr for every cell of `lp`.
+/// Precondition: the current positions in `lp` are legal (which the MLL
+/// caller guarantees), so both packings exist; asserts otherwise.
+void compute_minmax_placement(LocalProblem& lp);
+
+}  // namespace mrlg

@@ -1,0 +1,152 @@
+#include "legalize/mll.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "legalize/evaluation.hpp"
+#include "legalize/ilp_local.hpp"
+#include "legalize/insertion_interval.hpp"
+#include "legalize/local_region.hpp"
+#include "legalize/minmax_placement.hpp"
+#include "legalize/realization.hpp"
+#include "util/assert.hpp"
+
+namespace mrlg {
+
+MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
+                    double pref_x, double pref_y, const MllOptions& opts) {
+    MllResult res;
+    const Cell& cell = db.cell(target_cell);
+    MRLG_ASSERT(!cell.placed(), "MLL target must be unplaced");
+    MRLG_ASSERT(!cell.fixed(), "MLL target must be movable");
+
+    TargetSpec target;
+    target.id = target_cell;
+    target.w = cell.width();
+    target.h = cell.height();
+    target.pref_x = pref_x;
+    target.pref_y = pref_y;
+    target.rail_phase = cell.rail_phase();
+
+    // Window of paper §3: lower-left (x - Rx, y - Ry), size
+    // (2Rx + w) x (2Ry + h), anchored at the rounded preferred position.
+    const SiteCoord ax = static_cast<SiteCoord>(std::lround(pref_x));
+    const SiteCoord ay = static_cast<SiteCoord>(std::lround(pref_y));
+    const Rect window{static_cast<SiteCoord>(ax - opts.rx),
+                      static_cast<SiteCoord>(ay - opts.ry),
+                      static_cast<SiteCoord>(2 * opts.rx + target.w),
+                      static_cast<SiteCoord>(2 * opts.ry + target.h)};
+
+    const LocalRegion region =
+        extract_local_region(db, grid, window, cell.region());
+    if (region.height() == 0) {
+        return res;
+    }
+    LocalProblem lp = LocalProblem::build(db, region);
+    res.num_local_cells = static_cast<std::size_t>(lp.num_cells());
+
+    compute_minmax_placement(lp);
+    const std::vector<InsertionInterval> intervals =
+        build_insertion_intervals(lp, target.w);
+
+    EnumerationOptions eopts;
+    eopts.check_rail = opts.check_rail;
+    eopts.max_points = opts.max_points;
+
+    // Select the insertion point: MIP search, or enumeration + (exact |
+    // approximate) evaluation.
+    InsertionPoint mip_point;
+    EnumerationResult enumr;  // must outlive best_point, which aliases it
+    const InsertionPoint* best_point = nullptr;
+    Evaluation best_eval;
+    best_eval.cost_um = std::numeric_limits<double>::max();
+
+    if (opts.use_mip) {
+        const IlpLocalResult mip = solve_local_ilp(lp, target, eopts);
+        if (!mip.feasible) {
+            res.status = MllStatus::kNoInsertionPoint;
+            return res;
+        }
+        res.num_points = 1;
+        mip_point.k0 = mip.base_row_k;
+        mip_point.gaps = mip.gaps;
+        // Feasible x range from the per-row intervals of the chosen gaps.
+        mip_point.lo = kSiteCoordMin;
+        mip_point.hi = kSiteCoordMax;
+        for (const InsertionInterval& iv : intervals) {
+            const int j = iv.k - mip_point.k0;
+            if (j >= 0 && j < static_cast<int>(mip_point.gaps.size()) &&
+                iv.gap == mip_point.gaps[static_cast<std::size_t>(j)]) {
+                mip_point.lo = std::max(mip_point.lo, iv.lo);
+                mip_point.hi = std::min(mip_point.hi, iv.hi);
+            }
+        }
+        MRLG_ASSERT(mip_point.lo <= mip_point.hi,
+                    "MIP solution has no matching interval range");
+        best_eval = evaluate_insertion_point_exact(lp, mip_point, target);
+        MRLG_ASSERT(best_eval.feasible, "MIP point fails exact evaluation");
+        best_point = &mip_point;
+    } else {
+        enumr = enumerate_insertion_points(lp, intervals, target, eopts);
+        res.num_points = enumr.points.size();
+        res.enumeration_truncated = enumr.truncated;
+        if (enumr.points.empty()) {
+            res.status = MllStatus::kNoInsertionPoint;
+            return res;
+        }
+        for (const InsertionPoint& p : enumr.points) {
+            const Evaluation ev =
+                opts.exact_evaluation
+                    ? evaluate_insertion_point_exact(lp, p, target)
+                    : evaluate_insertion_point_approx(lp, p, target);
+            if (ev.feasible && ev.cost_um < best_eval.cost_um) {
+                best_eval = ev;
+                best_point = &p;
+            }
+        }
+        if (best_point == nullptr) {
+            res.status = MllStatus::kNoInsertionPoint;
+            return res;
+        }
+    }
+
+    const Realization real =
+        realize_insertion(lp, *best_point, best_eval.xt, target.w);
+    MRLG_ASSERT(real.ok, "realization failed for an enumerated point");
+
+    // Commit: shift moved local cells (row lists keep their order), then
+    // register the target.
+    for (int i = 0; i < lp.num_cells(); ++i) {
+        const LpCell& c = lp.cell(i);
+        const SiteCoord nx = real.new_x[static_cast<std::size_t>(i)];
+        if (nx != c.x) {
+            db.cell(c.id).set_x(nx);
+            res.moved.emplace_back(c.id, c.x);
+        }
+    }
+    const SiteCoord y_abs = lp.y0() + best_point->k0;
+    grid.place(db, target_cell, real.xt, y_abs);
+
+    res.status = MllStatus::kSuccess;
+    res.x = real.xt;
+    res.y = y_abs;
+    res.est_cost_um = best_eval.cost_um;
+    res.real_cost_um =
+        real.moved_sites * lp.site_w_um() +
+        std::abs(static_cast<double>(real.xt) - pref_x) * lp.site_w_um() +
+        std::abs(static_cast<double>(y_abs) - pref_y) * lp.site_h_um();
+    return res;
+}
+
+void mll_undo(Database& db, SegmentGrid& grid, CellId target_cell,
+              const MllResult& result) {
+    MRLG_ASSERT(result.success(), "can only undo a successful MLL commit");
+    grid.remove(db, target_cell);
+    // Restoring x values cannot change any row list's relative order:
+    // shifted cells return to positions that were legal before the move.
+    for (const auto& [id, old_x] : result.moved) {
+        db.cell(id).set_x(old_x);
+    }
+}
+
+}  // namespace mrlg

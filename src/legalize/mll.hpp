@@ -1,0 +1,72 @@
+#pragma once
+/// \file mll.hpp
+/// Multi-row Local Legalization (paper §4): insert one unplaced target cell
+/// near a preferred position, shifting local cells minimally in x.
+///
+/// Pipeline: window → local region extraction → leftmost/rightmost packing
+/// → insertion intervals → scanline enumeration → per-point evaluation
+/// (neighbour approximation by default, exact optionally) → realization of
+/// the best point → commit to the database/segment grid.
+/// On failure nothing is modified (the paper's abort semantics).
+
+#include "db/database.hpp"
+#include "db/segment.hpp"
+#include "legalize/enumeration.hpp"
+
+namespace mrlg {
+
+struct MllOptions {
+    SiteCoord rx = 30;  ///< Window half-width (paper: Rx = 30).
+    SiteCoord ry = 5;   ///< Window half-height (paper: Ry = 5).
+    bool check_rail = true;
+    /// Evaluate insertion points exactly (O(|C_W|) each) instead of the
+    /// paper's O(h_t) neighbour approximation. With exact evaluation the
+    /// chosen solution is optimal for the local subproblem — this is the
+    /// "ILP" configuration of Table 1 (see DESIGN.md substitution notes).
+    bool exact_evaluation = false;
+    /// Solve each local problem with the actual MIP formulation (our
+    /// simplex + branch & bound, the lpsolve stand-in) instead of
+    /// enumeration. Equally optimal, orders of magnitude slower — used to
+    /// reproduce the paper's 185x ILP runtime ratio (bench_table1
+    /// --true-ilp). Takes precedence over exact_evaluation.
+    bool use_mip = false;
+    std::size_t max_points = 1u << 20;
+};
+
+enum class MllStatus {
+    kSuccess,
+    kNoInsertionPoint,  ///< Region extracted but no feasible point.
+    kNoRegion,          ///< Window contains no usable rows.
+};
+
+struct MllResult {
+    MllStatus status = MllStatus::kNoRegion;
+    SiteCoord x = 0;  ///< Committed target position (success only).
+    SiteCoord y = 0;
+    double est_cost_um = 0.0;   ///< Evaluator cost of the chosen point.
+    double real_cost_um = 0.0;  ///< Realized displacement cost, microns.
+    std::size_t num_points = 0;
+    std::size_t num_local_cells = 0;
+    bool enumeration_truncated = false;
+    /// Local cells the commit shifted, with their pre-move x. MLL only
+    /// ever changes x (rows and orders are invariant), so an exact undo is
+    /// "restore these x values and remove the target".
+    std::vector<std::pair<CellId, SiteCoord>> moved;
+
+    bool success() const { return status == MllStatus::kSuccess; }
+};
+
+/// Exactly reverts a successful mll_place: removes the target and restores
+/// every shifted cell. The grid must not have been modified in between.
+void mll_undo(Database& db, SegmentGrid& grid, CellId target_cell,
+              const MllResult& result);
+
+/// Places `target_cell` (must be unplaced) as close as possible to the
+/// preferred fractional position (pref_x, pref_y), legalizing the local
+/// neighbourhood. Commits on success; leaves everything untouched on
+/// failure.
+MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
+                    double pref_x, double pref_y,
+                    const MllOptions& opts = {});
+
+}  // namespace mrlg

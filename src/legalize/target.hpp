@@ -1,0 +1,19 @@
+#pragma once
+/// \file target.hpp
+/// Description of the cell MLL is trying to insert.
+
+#include "db/types.hpp"
+#include "util/geometry.hpp"
+
+namespace mrlg {
+
+struct TargetSpec {
+    CellId id;          ///< The unplaced target cell.
+    SiteCoord w = 0;    ///< Width in sites.
+    SiteCoord h = 0;    ///< Height in rows.
+    double pref_x = 0;  ///< Preferred x (fractional sites) — displacement 0 here.
+    double pref_y = 0;  ///< Preferred bottom row (fractional rows).
+    RailPhase rail_phase = RailPhase::kEven;
+};
+
+}  // namespace mrlg

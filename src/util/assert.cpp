@@ -1,0 +1,17 @@
+#include "util/assert.hpp"
+
+#include <sstream>
+
+namespace mrlg::detail {
+
+void assertion_failed(const char* expr, const char* file, int line,
+                      const std::string& msg) {
+    std::ostringstream oss;
+    oss << "MRLG_ASSERT failed: (" << expr << ") at " << file << ':' << line;
+    if (!msg.empty()) {
+        oss << " — " << msg;
+    }
+    throw AssertionError(oss.str());
+}
+
+}  // namespace mrlg::detail

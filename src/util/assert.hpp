@@ -1,0 +1,48 @@
+#pragma once
+/// \file assert.hpp
+/// Contract-checking macros for mrlg.
+///
+/// Programming-contract violations (broken invariants, misuse of an API)
+/// throw mrlg::AssertionError rather than calling std::abort so that unit
+/// tests can exercise the contracts, and so that a host application
+/// embedding the legalizer can contain a failure to one design.
+
+#include <stdexcept>
+#include <string>
+
+namespace mrlg {
+
+/// Thrown when an MRLG_ASSERT contract is violated.
+class AssertionError : public std::logic_error {
+public:
+    explicit AssertionError(const std::string& what_arg)
+        : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+/// Builds the message and throws AssertionError. Out-of-line so the macro
+/// expansion stays small at every call site.
+[[noreturn]] void assertion_failed(const char* expr, const char* file,
+                                   int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace mrlg
+
+/// Always-on contract check (cheap checks on public API boundaries).
+#define MRLG_ASSERT(expr, msg)                                              \
+    do {                                                                    \
+        if (!(expr)) {                                                      \
+            ::mrlg::detail::assertion_failed(#expr, __FILE__, __LINE__,     \
+                                             (msg));                        \
+        }                                                                   \
+    } while (false)
+
+/// Heavier internal-consistency check, compiled out in release builds
+/// unless MRLG_ENABLE_DCHECK is defined.
+#if defined(MRLG_ENABLE_DCHECK) || !defined(NDEBUG)
+#define MRLG_DCHECK(expr, msg) MRLG_ASSERT(expr, msg)
+#else
+#define MRLG_DCHECK(expr, msg) \
+    do {                       \
+    } while (false)
+#endif

@@ -1,0 +1,47 @@
+#pragma once
+/// \file logging.hpp
+/// Minimal leveled logger. Single global sink (stderr by default); the
+/// level can be raised to silence benches/tests.
+
+#include <sstream>
+#include <string>
+
+namespace mrlg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement:  MRLG_LOG(kInfo) << "placed " << n << " cells";
+class LogLine {
+public:
+    explicit LogLine(LogLevel level) : level_(level) {}
+    LogLine(const LogLine&) = delete;
+    LogLine& operator=(const LogLine&) = delete;
+    ~LogLine() {
+        if (level_ >= log_level()) {
+            detail::log_emit(level_, oss_.str());
+        }
+    }
+    template <typename T>
+    LogLine& operator<<(const T& value) {
+        if (level_ >= log_level()) {
+            oss_ << value;
+        }
+        return *this;
+    }
+
+private:
+    LogLevel level_;
+    std::ostringstream oss_;
+};
+
+}  // namespace mrlg
+
+#define MRLG_LOG(level) ::mrlg::LogLine(::mrlg::LogLevel::level)

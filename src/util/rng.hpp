@@ -1,0 +1,101 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic pseudo-random number generator. mrlg never uses global
+/// random state: every component that needs randomness takes an Rng&, so
+/// runs are reproducible from a single seed.
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace mrlg {
+
+/// xoshiro256** — small, fast, high-quality; plenty for benchmark synthesis
+/// and the legalizer's retry offsets (paper §3, Rand_x/Rand_y).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    void reseed(std::uint64_t seed) {
+        // SplitMix64 expansion of the seed into the 4-word state.
+        std::uint64_t z = seed;
+        for (auto& word : state_) {
+            z += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t t = z;
+            t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+            word = t ^ (t >> 31);
+        }
+        has_cached_normal_ = false;
+    }
+
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+    /// Unbiased (Lemire multiply-shift with rejection).
+    std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+        MRLG_ASSERT(lo <= hi, "Rng::uniform: empty range");
+        const std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                                   static_cast<std::uint64_t>(lo) + 1;
+        if (span == 0) {  // full 64-bit range
+            return static_cast<std::int64_t>(next_u64());
+        }
+        unsigned __int128 m = static_cast<unsigned __int128>(next_u64()) * span;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < span) {
+            const std::uint64_t threshold = (0 - span) % span;
+            while (low < threshold) {
+                m = static_cast<unsigned __int128>(next_u64()) * span;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return lo + static_cast<std::int64_t>(m >> 64);
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform01() {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Normal deviate via Box–Muller; caches the second value of each pair.
+    double normal(double mean = 0.0, double stddev = 1.0) {
+        if (has_cached_normal_) {
+            has_cached_normal_ = false;
+            return mean + stddev * cached_normal_;
+        }
+        double u1 = uniform01();
+        while (u1 <= 0.0) {  // avoid log(0)
+            u1 = uniform01();
+        }
+        const double u2 = uniform01();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * 3.14159265358979323846 * u2;
+        cached_normal_ = r * std::sin(theta);
+        has_cached_normal_ = true;
+        return mean + stddev * r * std::cos(theta);
+    }
+
+    /// Bernoulli trial.
+    bool chance(double p) { return uniform01() < p; }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t state_[4] = {};
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+}  // namespace mrlg

@@ -1,0 +1,27 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock stopwatch for experiment runtime reporting (Table 1 "Runtime").
+
+#include <chrono>
+
+namespace mrlg {
+
+class Timer {
+public:
+    Timer() : start_(Clock::now()) {}
+
+    void restart() { start_ = Clock::now(); }
+
+    /// Seconds elapsed since construction / last restart.
+    double elapsed_s() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace mrlg

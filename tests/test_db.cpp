@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "db/database.hpp"
+#include "test_helpers.hpp"
+#include "util/assert.hpp"
+
+namespace mrlg::test {
+namespace {
+
+TEST(Floorplan, RectangularConstructor) {
+    const Floorplan fp(10, 100);
+    EXPECT_EQ(fp.num_rows(), 10);
+    EXPECT_EQ(fp.row(3).num_sites, 100);
+    EXPECT_EQ(fp.row(3).y, 3);
+    EXPECT_EQ(fp.die(), (Rect{0, 0, 100, 10}));
+    EXPECT_EQ(fp.free_site_area(), 1000);
+}
+
+TEST(Floorplan, RailPhaseAlternates) {
+    const Floorplan fp(4, 10);
+    EXPECT_EQ(fp.row(0).rail_phase(), RailPhase::kEven);
+    EXPECT_EQ(fp.row(1).rail_phase(), RailPhase::kOdd);
+    EXPECT_EQ(fp.row(2).rail_phase(), RailPhase::kEven);
+}
+
+TEST(Floorplan, BlockageReducesFreeArea) {
+    Floorplan fp(10, 100);
+    fp.add_blockage(Rect{10, 2, 20, 3});
+    EXPECT_EQ(fp.free_site_area(), 1000 - 60);
+}
+
+TEST(Floorplan, OverlappingBlockagesNotDoubleCounted) {
+    Floorplan fp(10, 100);
+    fp.add_blockage(Rect{10, 0, 20, 1});
+    fp.add_blockage(Rect{20, 0, 20, 1});  // overlaps [20,30)
+    EXPECT_EQ(fp.free_site_area(), 1000 - 30);
+}
+
+TEST(Floorplan, BlockageOutsideDieClamped) {
+    Floorplan fp(4, 10);
+    fp.add_blockage(Rect{-5, -5, 8, 20});  // covers x [0,3) on all rows
+    EXPECT_EQ(fp.free_site_area(), 4 * 10 - 4 * 3);
+}
+
+TEST(Floorplan, NonContiguousRowAddAsserts) {
+    Floorplan fp;
+    fp.add_row(Row{0, 0, 10});
+    EXPECT_THROW(fp.add_row(Row{2, 0, 10}), AssertionError);
+}
+
+TEST(Cell, EvenHeightDetection) {
+    EXPECT_FALSE(Cell("a", 2, 1).even_height());
+    EXPECT_TRUE(Cell("b", 2, 2).even_height());
+    EXPECT_FALSE(Cell("c", 2, 3).even_height());
+    EXPECT_TRUE(Cell("d", 2, 4).even_height());
+}
+
+TEST(Cell, PlacementLifecycle) {
+    Cell c("x", 3, 2);
+    EXPECT_FALSE(c.placed());
+    c.set_pos(5, 4);
+    EXPECT_TRUE(c.placed());
+    EXPECT_EQ(c.rect(), (Rect{5, 4, 3, 2}));
+    c.unplace();
+    EXPECT_FALSE(c.placed());
+}
+
+TEST(Database, AddAndFindCells) {
+    Database db(Floorplan(4, 50));
+    const CellId a = db.add_cell(Cell("a", 2, 1));
+    const CellId b = db.add_cell(Cell("b", 3, 2));
+    EXPECT_EQ(db.num_cells(), 2u);
+    EXPECT_EQ(db.find_cell("a"), a);
+    EXPECT_EQ(db.find_cell("b"), b);
+    EXPECT_FALSE(db.find_cell("zzz").valid());
+}
+
+TEST(Database, DuplicateCellNameAsserts) {
+    Database db(Floorplan(4, 50));
+    db.add_cell(Cell("a", 2, 1));
+    EXPECT_THROW(db.add_cell(Cell("a", 1, 1)), AssertionError);
+}
+
+TEST(Database, ZeroSizeCellAsserts) {
+    Database db(Floorplan(4, 50));
+    EXPECT_THROW(db.add_cell(Cell("bad", 0, 1)), AssertionError);
+    EXPECT_THROW(db.add_cell(Cell("bad2", 1, 0)), AssertionError);
+}
+
+TEST(Database, NetsAndPins) {
+    Database db(Floorplan(4, 50));
+    const CellId a = db.add_cell(Cell("a", 2, 1));
+    const CellId b = db.add_cell(Cell("b", 3, 1));
+    const NetId n = db.add_net("n1");
+    const PinId p1 = db.add_pin(a, n, 1.0, 0.5);
+    const PinId p2 = db.add_pin(b, n, 0.0, 0.5);
+    EXPECT_EQ(db.net(n).degree(), 2u);
+    EXPECT_EQ(db.pin(p1).cell, a);
+    EXPECT_EQ(db.pin(p2).cell, b);
+    EXPECT_EQ(db.cell(a).pins().size(), 1u);
+    EXPECT_EQ(db.find_net("n1"), n);
+    EXPECT_FALSE(db.find_net("nope").valid());
+}
+
+TEST(Database, MovableCellsExcludesFixed) {
+    Database db(Floorplan(4, 50));
+    db.add_cell(Cell("m", 2, 1));
+    Cell fixed("f", 4, 2, RailPhase::kEven, /*fixed=*/true);
+    fixed.set_pos(10, 1);
+    db.add_cell(std::move(fixed));
+    const auto movable = db.movable_cells();
+    ASSERT_EQ(movable.size(), 1u);
+    EXPECT_EQ(db.cell(movable[0]).name(), "m");
+}
+
+TEST(Database, DensityComputation) {
+    Database db(Floorplan(10, 100));  // free area 1000
+    db.add_cell(Cell("a", 50, 1));
+    db.add_cell(Cell("b", 50, 2));  // area 100
+    EXPECT_NEAR(db.density(), 150.0 / 1000.0, 1e-12);
+}
+
+TEST(Database, SingleAndMultiRowCounts) {
+    Database db(Floorplan(10, 100));
+    db.add_cell(Cell("a", 2, 1));
+    db.add_cell(Cell("b", 2, 2));
+    db.add_cell(Cell("c", 2, 3));
+    EXPECT_EQ(db.num_single_row_cells(), 1u);
+    EXPECT_EQ(db.num_multi_row_cells(), 2u);
+}
+
+TEST(Database, FreezeFixedCellsAddsBlockages) {
+    Database db(Floorplan(10, 100));
+    Cell fixed("macro", 20, 4, RailPhase::kEven, true);
+    fixed.set_pos(30, 2);
+    db.add_cell(std::move(fixed));
+    db.freeze_fixed_cells();
+    ASSERT_EQ(db.floorplan().blockages().size(), 1u);
+    EXPECT_EQ(db.floorplan().blockages()[0], (Rect{30, 2, 20, 4}));
+}
+
+TEST(Database, FreezeUnplacedFixedAsserts) {
+    Database db(Floorplan(10, 100));
+    db.add_cell(Cell("macro", 20, 4, RailPhase::kEven, true));
+    EXPECT_THROW(db.freeze_fixed_cells(), AssertionError);
+}
+
+TEST(Database, BadIdAccessAsserts) {
+    Database db(Floorplan(4, 50));
+    EXPECT_THROW(db.cell(CellId{0}), AssertionError);
+    db.add_cell(Cell("a", 1, 1));
+    EXPECT_NO_THROW(db.cell(CellId{0}));
+    EXPECT_THROW(db.cell(CellId{1}), AssertionError);
+    EXPECT_THROW(db.cell(CellId{}), AssertionError);
+}
+
+}  // namespace
+}  // namespace mrlg::test

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "eval/legality.hpp"
+#include "test_helpers.hpp"
+
+namespace mrlg::test {
+namespace {
+
+TEST(RailCompatible, OddHeightAlwaysCompatible) {
+    for (SiteCoord y = 0; y < 6; ++y) {
+        EXPECT_TRUE(rail_compatible(y, 1, RailPhase::kEven));
+        EXPECT_TRUE(rail_compatible(y, 1, RailPhase::kOdd));
+        EXPECT_TRUE(rail_compatible(y, 3, RailPhase::kEven));
+    }
+}
+
+TEST(RailCompatible, EvenHeightNeedsMatchingParity) {
+    EXPECT_TRUE(rail_compatible(0, 2, RailPhase::kEven));
+    EXPECT_FALSE(rail_compatible(1, 2, RailPhase::kEven));
+    EXPECT_TRUE(rail_compatible(2, 2, RailPhase::kEven));
+    EXPECT_FALSE(rail_compatible(0, 2, RailPhase::kOdd));
+    EXPECT_TRUE(rail_compatible(1, 2, RailPhase::kOdd));
+    EXPECT_TRUE(rail_compatible(4, 4, RailPhase::kEven));
+    EXPECT_FALSE(rail_compatible(3, 4, RailPhase::kEven));
+}
+
+TEST(Legality, EmptyDesignIsLegal) {
+    Database db = empty_design(4, 50);
+    const SegmentGrid grid = SegmentGrid::build(db);
+    EXPECT_TRUE(check_legality(db, grid).legal);
+}
+
+TEST(Legality, CleanPlacementIsLegal) {
+    Database db = empty_design(4, 50);
+    SegmentGrid grid = SegmentGrid::build(db);
+    add_placed(db, grid, "a", 0, 0, 5, 1);
+    add_placed(db, grid, "b", 5, 0, 5, 1);
+    add_placed(db, grid, "m", 10, 0, 4, 2, RailPhase::kEven);
+    const LegalityReport rep = check_legality(db, grid);
+    EXPECT_TRUE(rep.legal) << (rep.messages.empty() ? "" : rep.messages[0]);
+}
+
+TEST(Legality, DetectsOverlapSameRow) {
+    Database db = empty_design(2, 50);
+    SegmentGrid grid = SegmentGrid::build(db);
+    add_placed(db, grid, "a", 0, 0, 5, 1);
+    const CellId b = db.add_cell(Cell("b", 5, 1));
+    db.cell(b).set_pos(3, 0);  // bypass grid to create the violation
+    const LegalityReport rep = check_legality(db, grid);
+    EXPECT_FALSE(rep.legal);
+    EXPECT_GE(rep.num_overlaps, 1u);
+}
+
+TEST(Legality, DetectsCrossRowOverlapViaMultiRowCell) {
+    Database db = empty_design(3, 50);
+    SegmentGrid grid = SegmentGrid::build(db);
+    add_placed(db, grid, "tall", 0, 0, 4, 3);
+    const CellId b = db.add_cell(Cell("b", 4, 1));
+    db.cell(b).set_pos(2, 2);  // overlaps row 2 slice of "tall"
+    const LegalityReport rep = check_legality(db, grid);
+    EXPECT_FALSE(rep.legal);
+    EXPECT_GE(rep.num_overlaps, 1u);
+}
+
+TEST(Legality, DetectsRailViolation) {
+    Database db = empty_design(4, 50);
+    SegmentGrid grid = SegmentGrid::build(db);
+    const CellId m = db.add_cell(Cell("m", 4, 2, RailPhase::kEven));
+    db.cell(m).set_pos(0, 1);  // odd row, even phase
+    const LegalityReport rep = check_legality(db, grid);
+    EXPECT_FALSE(rep.legal);
+    EXPECT_EQ(rep.num_rail_violations, 1u);
+}
+
+TEST(Legality, RailViolationIgnoredWhenRelaxed) {
+    Database db = empty_design(4, 50);
+    SegmentGrid grid = SegmentGrid::build(db);
+    const CellId m = db.add_cell(Cell("m", 4, 2, RailPhase::kEven));
+    db.cell(m).set_pos(0, 1);
+    LegalityOptions opts;
+    opts.check_rail_alignment = false;
+    EXPECT_TRUE(check_legality(db, grid, opts).legal);
+}
+
+TEST(Legality, DetectsCellOutsideRows) {
+    Database db = empty_design(4, 50);
+    SegmentGrid grid = SegmentGrid::build(db);
+    const CellId a = db.add_cell(Cell("a", 5, 1));
+    db.cell(a).set_pos(48, 0);  // sticks out of the row
+    const LegalityReport rep = check_legality(db, grid);
+    EXPECT_FALSE(rep.legal);
+    EXPECT_EQ(rep.num_out_of_rows, 1u);
+
+    const CellId b = db.add_cell(Cell("b", 5, 2));
+    db.cell(b).set_pos(0, 3);  // top row slice off die
+    EXPECT_GE(check_legality(db, grid).num_out_of_rows, 2u);
+}
+
+TEST(Legality, DetectsCellOnBlockage) {
+    Database db = empty_design(2, 50);
+    db.floorplan().add_blockage(Rect{10, 0, 10, 1});
+    SegmentGrid grid = SegmentGrid::build(db);
+    const CellId a = db.add_cell(Cell("a", 5, 1));
+    db.cell(a).set_pos(12, 0);
+    const LegalityReport rep = check_legality(db, grid);
+    EXPECT_FALSE(rep.legal);
+    EXPECT_EQ(rep.num_out_of_rows, 1u);
+}
+
+TEST(Legality, UnplacedCellsReported) {
+    Database db = empty_design(2, 50);
+    const SegmentGrid grid = SegmentGrid::build(db);
+    db.add_cell(Cell("a", 5, 1));
+    const LegalityReport rep = check_legality(db, grid);
+    EXPECT_FALSE(rep.legal);
+    EXPECT_EQ(rep.num_unplaced, 1u);
+
+    LegalityOptions opts;
+    opts.require_all_placed = false;
+    EXPECT_TRUE(check_legality(db, grid, opts).legal);
+}
+
+TEST(Legality, FixedCellsAreExempt) {
+    Database db = empty_design(4, 50);
+    Cell macro("macro", 10, 2, RailPhase::kOdd, true);
+    macro.set_pos(0, 0);  // "wrong" parity — irrelevant for fixed cells
+    db.add_cell(std::move(macro));
+    db.freeze_fixed_cells();
+    const SegmentGrid grid = SegmentGrid::build(db);
+    EXPECT_TRUE(check_legality(db, grid).legal);
+}
+
+TEST(Legality, MessageCapRespected) {
+    Database db = empty_design(1, 200);
+    const SegmentGrid grid = SegmentGrid::build(db);
+    for (int i = 0; i < 50; ++i) {
+        db.add_cell(Cell("u" + std::to_string(i), 2, 1));
+    }
+    LegalityOptions opts;
+    opts.max_messages = 5;
+    const LegalityReport rep = check_legality(db, grid, opts);
+    EXPECT_EQ(rep.num_unplaced, 50u);
+    EXPECT_EQ(rep.messages.size(), 5u);
+}
+
+TEST(PositionLegalForCell, ChecksEverything) {
+    Database db = empty_design(4, 50);
+    db.floorplan().add_blockage(Rect{20, 0, 5, 4});
+    const SegmentGrid grid = SegmentGrid::build(db);
+    const CellId d = db.add_cell(Cell("d", 4, 2, RailPhase::kEven));
+    EXPECT_TRUE(position_legal_for_cell(db, grid, d, 0, 0));
+    EXPECT_FALSE(position_legal_for_cell(db, grid, d, 0, 1));   // parity
+    EXPECT_TRUE(position_legal_for_cell(db, grid, d, 0, 1, false));
+    EXPECT_FALSE(position_legal_for_cell(db, grid, d, 18, 0));  // blockage
+    EXPECT_FALSE(position_legal_for_cell(db, grid, d, 47, 0));  // off row
+    EXPECT_FALSE(position_legal_for_cell(db, grid, d, 0, 3));   // off die top
+    EXPECT_FALSE(position_legal_for_cell(db, grid, d, 0, -1));  // below die
+}
+
+TEST(Legality, RandomizedDesignsAlwaysLegalAfterPacking) {
+    Rng rng(5);
+    for (int t = 0; t < 4; ++t) {
+        RandomDesign d = random_legal_design(rng, 10, 150, 80, 0.25, 3);
+        const LegalityReport rep = check_legality(d.db, d.grid);
+        EXPECT_TRUE(rep.legal)
+            << (rep.messages.empty() ? "?" : rep.messages[0]);
+    }
+}
+
+}  // namespace
+}  // namespace mrlg::test

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "legalize/local_region.hpp"
+#include "test_helpers.hpp"
+
+namespace mrlg::test {
+namespace {
+
+bool has_local(const LocalRegion& r, CellId c) {
+    return std::find(r.local_cells().begin(), r.local_cells().end(), c) !=
+           r.local_cells().end();
+}
+
+TEST(LocalRegion, EmptyWindowOnEmptyDie) {
+    Database db = empty_design(4, 100);
+    const SegmentGrid grid = SegmentGrid::build(db);
+    const LocalRegion r =
+        extract_local_region(db, grid, Rect{10, 1, 20, 2});
+    EXPECT_EQ(r.height(), 2);
+    EXPECT_TRUE(r.has_row(0));
+    EXPECT_TRUE(r.has_row(1));
+    EXPECT_EQ(r.row(0).span, (Span{10, 30}));
+    EXPECT_TRUE(r.local_cells().empty());
+}
+
+TEST(LocalRegion, WindowClippedToDie) {
+    Database db = empty_design(4, 100);
+    const SegmentGrid grid = SegmentGrid::build(db);
+    const LocalRegion r =
+        extract_local_region(db, grid, Rect{-10, -2, 30, 10});
+    EXPECT_EQ(r.y0(), 0);
+    EXPECT_EQ(r.height(), 4);
+    EXPECT_EQ(r.row(0).span, (Span{0, 20}));
+}
+
+TEST(LocalRegion, WindowEntirelyOffDie) {
+    Database db = empty_design(4, 100);
+    const SegmentGrid grid = SegmentGrid::build(db);
+    EXPECT_EQ(extract_local_region(db, grid, Rect{0, 10, 20, 3}).height(),
+              0);
+}
+
+TEST(LocalRegion, FullyInsideCellIsLocal) {
+    Database db = empty_design(4, 100);
+    SegmentGrid grid = SegmentGrid::build(db);
+    const CellId a = add_placed(db, grid, "a", 20, 1, 4, 1);
+    const LocalRegion r =
+        extract_local_region(db, grid, Rect{10, 0, 30, 3});
+    EXPECT_TRUE(has_local(r, a));
+    const int k = r.row_index(1);
+    ASSERT_TRUE(r.has_row(k));
+    ASSERT_EQ(r.row(k).cells.size(), 1u);
+    EXPECT_EQ(r.row(k).cells[0], a);
+}
+
+TEST(LocalRegion, StraddlingCellIsNonLocalAndCutsRow) {
+    Database db = empty_design(4, 100);
+    SegmentGrid grid = SegmentGrid::build(db);
+    // Cell half inside the window's left edge.
+    const CellId a = add_placed(db, grid, "a", 5, 1, 10, 1);
+    const LocalRegion r =
+        extract_local_region(db, grid, Rect{10, 0, 30, 3});
+    EXPECT_FALSE(has_local(r, a));
+    const int k = r.row_index(1);
+    ASSERT_TRUE(r.has_row(k));
+    // The local segment starts after the straddler's footprint.
+    EXPECT_EQ(r.row(k).span, (Span{15, 40}));
+}
+
+TEST(LocalRegion, PieceClosestToCenterChosen) {
+    Database db = empty_design(4, 100);
+    SegmentGrid grid = SegmentGrid::build(db);
+    // Non-local straddler (rows 2-3, window covers rows 0-2 only) splits
+    // row 2 into [10,20) and [26,40); window centre x=25 sits closer to the
+    // right piece, which wins.
+    add_placed(db, grid, "wall", 20, 2, 6, 2);
+    const CellId right = add_placed(db, grid, "r", 30, 2, 4, 1);
+    const CellId left = add_placed(db, grid, "l", 12, 2, 4, 1);
+    const LocalRegion r =
+        extract_local_region(db, grid, Rect{10, 0, 30, 3});
+    const int k = r.row_index(2);
+    ASSERT_TRUE(r.has_row(k));
+    EXPECT_EQ(r.row(k).span, (Span{26, 40}));
+    EXPECT_TRUE(has_local(r, right));
+    // Figure 3's cell "i": inside W but outside the chosen local segment.
+    EXPECT_FALSE(has_local(r, left));
+}
+
+TEST(LocalRegion, BlockageBoundsLocalSegment) {
+    Database db = empty_design(2, 100);
+    db.floorplan().add_blockage(Rect{40, 0, 10, 2});
+    SegmentGrid grid = SegmentGrid::build(db);
+    const LocalRegion r =
+        extract_local_region(db, grid, Rect{20, 0, 40, 2});
+    // Window x [20,60); centre 40 sits on the blockage; both pieces at
+    // distance 0 from the centre — the wider one ([20,40), width 20) wins.
+    ASSERT_TRUE(r.has_row(0));
+    EXPECT_EQ(r.row(0).span, (Span{20, 40}));
+}
+
+TEST(LocalRegion, MultiRowCellLocalWhenAllRowsContained) {
+    Database db = empty_design(4, 100);
+    SegmentGrid grid = SegmentGrid::build(db);
+    const CellId m = add_placed(db, grid, "m", 20, 0, 4, 2);
+    const LocalRegion r =
+        extract_local_region(db, grid, Rect{10, 0, 30, 3});
+    EXPECT_TRUE(has_local(r, m));
+    // Appears in both of its rows' lists, once in local_cells().
+    EXPECT_EQ(r.row(r.row_index(0)).cells.size(), 1u);
+    EXPECT_EQ(r.row(r.row_index(1)).cells.size(), 1u);
+    EXPECT_EQ(std::count(r.local_cells().begin(), r.local_cells().end(), m),
+              1);
+}
+
+TEST(LocalRegion, MultiRowCellStickingOutOfWindowIsNonLocal) {
+    Database db = empty_design(4, 100);
+    SegmentGrid grid = SegmentGrid::build(db);
+    // Rows 2..3, window covers rows 0..2 only.
+    const CellId m = add_placed(db, grid, "m", 20, 2, 4, 2);
+    const LocalRegion r =
+        extract_local_region(db, grid, Rect{10, 0, 30, 3});
+    EXPECT_FALSE(has_local(r, m));
+    // Its footprint cuts row 2's local segment.
+    const int k = r.row_index(2);
+    ASSERT_TRUE(r.has_row(k));
+    const Span s = r.row(k).span;
+    EXPECT_TRUE(s.hi <= 20 || s.lo >= 24);
+}
+
+TEST(LocalRegion, CascadingNonLocalFixpoint) {
+    // A multi-row cell fully inside the window whose row-3 slice loses the
+    // centre-closest contest becomes non-local and must then cut row 2 too.
+    Database db = empty_design(6, 120);
+    SegmentGrid grid = SegmentGrid::build(db);
+    // Initial blocker: rows 3-4, window covers rows 0-3 → splits row 3
+    // into [30,40) and [44,70); the right piece contains the centre (50).
+    add_placed(db, grid, "wall", 40, 3, 4, 2, RailPhase::kOdd);
+    // Multi-row cell on rows 2-3 sits in row 3's *left* piece.
+    const CellId m = add_placed(db, grid, "m", 32, 2, 4, 2);
+    const LocalRegion r =
+        extract_local_region(db, grid, Rect{30, 0, 40, 4});
+    EXPECT_FALSE(has_local(r, m));
+    // Row 2's local segment must exclude m's sites.
+    const int k2 = r.row_index(2);
+    ASSERT_TRUE(r.has_row(k2));
+    EXPECT_FALSE(r.row(k2).span.overlaps(Span{32, 36}));
+}
+
+TEST(LocalRegion, CellListsOrderedByX) {
+    Rng rng(3);
+    RandomDesign d = random_legal_design(rng, 12, 150, 90, 0.3);
+    const LocalRegion r =
+        extract_local_region(d.db, d.grid, Rect{30, 2, 70, 8});
+    for (int k = 0; k < r.height(); ++k) {
+        if (!r.has_row(k)) {
+            continue;
+        }
+        SiteCoord prev = kSiteCoordMin;
+        for (const CellId c : r.row(k).cells) {
+            EXPECT_GE(d.db.cell(c).x(), prev);
+            prev = d.db.cell(c).x();
+            // Every listed cell is fully inside the local segment.
+            EXPECT_TRUE(r.row(k).span.contains(
+                Span{d.db.cell(c).x(),
+                     d.db.cell(c).x() + d.db.cell(c).width()}));
+        }
+    }
+}
+
+TEST(LocalRegion, RandomizedInvariants) {
+    Rng rng(17);
+    for (int t = 0; t < 10; ++t) {
+        RandomDesign d = random_legal_design(rng, 14, 160, 110, 0.3, 3);
+        const SiteCoord wx = static_cast<SiteCoord>(rng.uniform(0, 120));
+        const SiteCoord wy = static_cast<SiteCoord>(rng.uniform(0, 10));
+        const LocalRegion r = extract_local_region(
+            d.db, d.grid, Rect{wx, wy, 40, 6});
+        for (const CellId c : r.local_cells()) {
+            const Cell& cell = d.db.cell(c);
+            // Local cells are completely inside the window...
+            EXPECT_TRUE(r.window().contains(cell.rect()));
+            // ...and inside the local segment of every row they span.
+            for (SiteCoord y = cell.y(); y < cell.y() + cell.height();
+                 ++y) {
+                const int k = r.row_index(y);
+                ASSERT_TRUE(r.has_row(k));
+                EXPECT_TRUE(r.row(k).span.contains(
+                    Span{cell.x(), cell.x() + cell.width()}));
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace mrlg::test

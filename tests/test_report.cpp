@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/report.hpp"
+#include "io/benchmark_gen.hpp"
+#include "legalize/legalizer.hpp"
+#include "test_helpers.hpp"
+
+namespace mrlg::test {
+namespace {
+
+TEST(QualityReport, EmptyDesign) {
+    Database db = empty_design(4, 40);
+    const SegmentGrid grid = SegmentGrid::build(db);
+    const QualityReport rep = make_quality_report(db, grid);
+    EXPECT_EQ(rep.num_cells, 0u);
+    EXPECT_TRUE(rep.legal);
+    EXPECT_EQ(rep.disp_avg, 0.0);
+}
+
+TEST(QualityReport, StatsMatchHandComputation) {
+    Database db = empty_design(4, 100);
+    SegmentGrid grid = SegmentGrid::build(db);
+    // Two cells: displacements 0 and 5 sites.
+    const CellId a = add_placed(db, grid, "a", 10, 0, 4, 1);
+    db.cell(a).set_gp(10.0, 0.0);
+    const CellId b = add_placed(db, grid, "b", 30, 0, 4, 1);
+    db.cell(b).set_gp(25.0, 0.0);
+    const QualityReport rep = make_quality_report(db, grid);
+    EXPECT_EQ(rep.num_cells, 2u);
+    EXPECT_EQ(rep.num_unplaced, 0u);
+    EXPECT_NEAR(rep.disp_avg, 2.5, 1e-9);
+    EXPECT_NEAR(rep.disp_max, 5.0, 1e-9);
+    EXPECT_EQ(rep.disp_histogram[0], 1u);  // [0,1)
+    EXPECT_EQ(rep.disp_histogram[3], 1u);  // [4,8)
+    EXPECT_EQ(rep.count_by_height[0], 2u);
+    EXPECT_TRUE(rep.legal);
+}
+
+TEST(QualityReport, HeightClassesSeparated) {
+    Database db = empty_design(6, 100);
+    SegmentGrid grid = SegmentGrid::build(db);
+    const CellId s = add_placed(db, grid, "s", 10, 0, 4, 1);
+    db.cell(s).set_gp(10.0, 0.0);
+    const CellId d = add_placed(db, grid, "d", 20, 0, 4, 2);
+    db.cell(d).set_gp(18.0, 0.0);  // 2 sites
+    const CellId t = add_placed(db, grid, "t", 40, 0, 4, 3);
+    db.cell(t).set_gp(40.0, 0.0);
+    static_cast<void>(t);
+    const QualityReport rep = make_quality_report(db, grid);
+    EXPECT_EQ(rep.count_by_height[0], 1u);
+    EXPECT_EQ(rep.count_by_height[1], 1u);
+    EXPECT_EQ(rep.count_by_height[2], 1u);
+    EXPECT_NEAR(rep.disp_by_height[1], 2.0, 1e-9);
+    static_cast<void>(d);
+}
+
+TEST(QualityReport, UnplacedCounted) {
+    Database db = empty_design(4, 40);
+    const SegmentGrid grid = SegmentGrid::build(db);
+    add_unplaced(db, "u", 5.0, 1.0, 3, 1);
+    const QualityReport rep = make_quality_report(db, grid);
+    EXPECT_EQ(rep.num_unplaced, 1u);
+    EXPECT_FALSE(rep.legal);
+}
+
+TEST(QualityReport, PrintContainsKeyLines) {
+    GenProfile p;
+    p.name = "rep";
+    p.num_single = 300;
+    p.num_double = 30;
+    p.density = 0.5;
+    GenResult gen = generate_benchmark(p);
+    SegmentGrid grid = SegmentGrid::build(gen.db);
+    ASSERT_TRUE(legalize_placement(gen.db, grid).success);
+    const QualityReport rep = make_quality_report(gen.db, grid);
+    std::ostringstream os;
+    print_quality_report(rep, os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("placement quality report"), std::string::npos);
+    EXPECT_NE(out.find("histogram"), std::string::npos);
+    EXPECT_NE(out.find("legal               : yes"), std::string::npos);
+    EXPECT_NE(out.find("by height"), std::string::npos);
+}
+
+TEST(QualityReport, PercentilesOrdered) {
+    GenProfile p;
+    p.name = "rep2";
+    p.num_single = 500;
+    p.num_double = 50;
+    p.density = 0.7;
+    GenResult gen = generate_benchmark(p);
+    SegmentGrid grid = SegmentGrid::build(gen.db);
+    ASSERT_TRUE(legalize_placement(gen.db, grid).success);
+    const QualityReport rep = make_quality_report(gen.db, grid);
+    EXPECT_LE(rep.disp_median, rep.disp_p95);
+    EXPECT_LE(rep.disp_p95, rep.disp_max);
+    EXPECT_GT(rep.disp_avg, 0.0);
+    std::size_t total = 0;
+    for (const std::size_t b : rep.disp_histogram) {
+        total += b;
+    }
+    EXPECT_EQ(total, rep.num_cells - rep.num_unplaced);
+}
+
+}  // namespace
+}  // namespace mrlg::test

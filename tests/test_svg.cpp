@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/svg.hpp"
+#include "test_helpers.hpp"
+
+namespace mrlg::test {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& p) {
+    std::ifstream in(p);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::size_t count_occurrences(const std::string& hay,
+                              const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size())) {
+        ++n;
+    }
+    return n;
+}
+
+class SvgTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        path_ = fs::temp_directory_path() /
+                ("mrlg_svg_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name()) +
+                 ".svg");
+    }
+    void TearDown() override { fs::remove(path_); }
+    fs::path path_;
+};
+
+TEST_F(SvgTest, DrawsRowsCellsAndBlockages) {
+    Database db = empty_design(4, 50);
+    db.floorplan().add_blockage(Rect{10, 0, 5, 2});
+    SegmentGrid grid = SegmentGrid::build(db);
+    add_placed(db, grid, "a", 20, 0, 5, 1);
+    add_placed(db, grid, "m", 30, 0, 4, 2);
+    ASSERT_TRUE(write_svg(db, path_.string()));
+    const std::string svg = read_file(path_);
+    EXPECT_NE(svg.find("<svg"), std::string::npos);
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+    // background + 4 rows + 1 blockage + 2 cells = 8 rects.
+    EXPECT_EQ(count_occurrences(svg, "<rect"), 8u);
+    // Heights use distinct colours.
+    EXPECT_NE(svg.find("#7eb0d5"), std::string::npos);  // h=1
+    EXPECT_NE(svg.find("#fd7f6f"), std::string::npos);  // h=2
+}
+
+TEST_F(SvgTest, UnplacedCellsDrawnHollow) {
+    Database db = empty_design(4, 50);
+    add_unplaced(db, "u", 10.0, 1.0, 5, 1);
+    ASSERT_TRUE(write_svg(db, path_.string()));
+    const std::string svg = read_file(path_);
+    EXPECT_NE(svg.find("stroke-dasharray"), std::string::npos);
+}
+
+TEST_F(SvgTest, GpArrowsOptIn) {
+    Database db = empty_design(4, 50);
+    SegmentGrid grid = SegmentGrid::build(db);
+    const CellId a = add_placed(db, grid, "a", 20, 0, 5, 1);
+    db.cell(a).set_gp(10.0, 2.0);
+    ASSERT_TRUE(write_svg(db, path_.string()));
+    EXPECT_EQ(count_occurrences(read_file(path_), "<line"), 0u);
+    SvgOptions opts;
+    opts.draw_gp_arrows = true;
+    ASSERT_TRUE(write_svg(db, path_.string(), opts));
+    EXPECT_EQ(count_occurrences(read_file(path_), "<line"), 1u);
+}
+
+TEST_F(SvgTest, LabelsOptIn) {
+    Database db = empty_design(2, 30);
+    SegmentGrid grid = SegmentGrid::build(db);
+    add_placed(db, grid, "my_cell", 5, 0, 4, 1);
+    SvgOptions opts;
+    opts.label_cells = true;
+    ASSERT_TRUE(write_svg(db, path_.string(), opts));
+    EXPECT_NE(read_file(path_).find(">my_cell<"), std::string::npos);
+}
+
+TEST_F(SvgTest, RefusesOversizedDesign) {
+    Database db = empty_design(2, 30);
+    SegmentGrid grid = SegmentGrid::build(db);
+    add_placed(db, grid, "a", 0, 0, 2, 1);
+    add_placed(db, grid, "b", 4, 0, 2, 1);
+    SvgOptions opts;
+    opts.max_cells = 1;
+    EXPECT_FALSE(write_svg(db, path_.string(), opts));
+    EXPECT_FALSE(fs::exists(path_));
+}
+
+TEST_F(SvgTest, FixedCellsSkipped) {
+    Database db = empty_design(2, 30);
+    Cell macro("mac", 6, 2, RailPhase::kEven, true);
+    macro.set_pos(10, 0);
+    db.add_cell(std::move(macro));
+    db.freeze_fixed_cells();
+    ASSERT_TRUE(write_svg(db, path_.string()));
+    const std::string svg = read_file(path_);
+    // background + 2 rows + 1 blockage (frozen macro) and no cell rect.
+    EXPECT_EQ(count_occurrences(svg, "<rect"), 4u);
+}
+
+}  // namespace
+}  // namespace mrlg::test
