@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_eval.dir/bench_ablation_eval.cpp.o"
+  "CMakeFiles/bench_ablation_eval.dir/bench_ablation_eval.cpp.o.d"
+  "CMakeFiles/bench_ablation_eval.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_ablation_eval.dir/bench_common.cpp.o.d"
+  "bench_ablation_eval"
+  "bench_ablation_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detailed.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_detailed.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_detailed.dir/bench_detailed.cpp.o"
+  "CMakeFiles/bench_detailed.dir/bench_detailed.cpp.o.d"
+  "bench_detailed"
+  "bench_detailed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detailed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fences.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fences.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fences.dir/bench_fences.cpp.o"
+  "CMakeFiles/bench_fences.dir/bench_fences.cpp.o.d"
+  "bench_fences"
+  "bench_fences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heights.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_heights.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_heights.dir/bench_heights.cpp.o"
+  "CMakeFiles/bench_heights.dir/bench_heights.cpp.o.d"
+  "bench_heights"
+  "bench_heights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

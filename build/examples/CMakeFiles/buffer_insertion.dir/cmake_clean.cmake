@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_insertion.dir/buffer_insertion.cpp.o"
+  "CMakeFiles/buffer_insertion.dir/buffer_insertion.cpp.o.d"
+  "buffer_insertion"
+  "buffer_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

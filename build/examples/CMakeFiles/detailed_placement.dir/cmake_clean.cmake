@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detailed_placement.dir/detailed_placement.cpp.o"
+  "CMakeFiles/detailed_placement.dir/detailed_placement.cpp.o.d"
+  "detailed_placement"
+  "detailed_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detailed_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

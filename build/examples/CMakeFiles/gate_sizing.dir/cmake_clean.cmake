@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_sizing.dir/gate_sizing.cpp.o"
+  "CMakeFiles/gate_sizing.dir/gate_sizing.cpp.o.d"
+  "gate_sizing"
+  "gate_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legalize_bookshelf.dir/legalize_bookshelf.cpp.o"
+  "CMakeFiles/legalize_bookshelf.dir/legalize_bookshelf.cpp.o.d"
+  "legalize_bookshelf"
+  "legalize_bookshelf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legalize_bookshelf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/database.cpp" "src/db/CMakeFiles/mrlg_db.dir/database.cpp.o" "gcc" "src/db/CMakeFiles/mrlg_db.dir/database.cpp.o.d"
+  "/root/repo/src/db/floorplan.cpp" "src/db/CMakeFiles/mrlg_db.dir/floorplan.cpp.o" "gcc" "src/db/CMakeFiles/mrlg_db.dir/floorplan.cpp.o.d"
+  "/root/repo/src/db/segment.cpp" "src/db/CMakeFiles/mrlg_db.dir/segment.cpp.o" "gcc" "src/db/CMakeFiles/mrlg_db.dir/segment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mrlg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

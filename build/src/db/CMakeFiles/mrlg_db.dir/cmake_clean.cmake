@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlg_db.dir/database.cpp.o"
+  "CMakeFiles/mrlg_db.dir/database.cpp.o.d"
+  "CMakeFiles/mrlg_db.dir/floorplan.cpp.o"
+  "CMakeFiles/mrlg_db.dir/floorplan.cpp.o.d"
+  "CMakeFiles/mrlg_db.dir/segment.cpp.o"
+  "CMakeFiles/mrlg_db.dir/segment.cpp.o.d"
+  "libmrlg_db.a"
+  "libmrlg_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlg_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/detailed_placer.cpp" "src/dp/CMakeFiles/mrlg_dp.dir/detailed_placer.cpp.o" "gcc" "src/dp/CMakeFiles/mrlg_dp.dir/detailed_placer.cpp.o.d"
+  "/root/repo/src/dp/net_cache.cpp" "src/dp/CMakeFiles/mrlg_dp.dir/net_cache.cpp.o" "gcc" "src/dp/CMakeFiles/mrlg_dp.dir/net_cache.cpp.o.d"
+  "/root/repo/src/dp/row_polish.cpp" "src/dp/CMakeFiles/mrlg_dp.dir/row_polish.cpp.o" "gcc" "src/dp/CMakeFiles/mrlg_dp.dir/row_polish.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/mrlg_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mrlg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/legalize/CMakeFiles/mrlg_legalize.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrlg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/mrlg_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

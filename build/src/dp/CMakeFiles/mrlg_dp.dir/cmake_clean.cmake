@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlg_dp.dir/detailed_placer.cpp.o"
+  "CMakeFiles/mrlg_dp.dir/detailed_placer.cpp.o.d"
+  "CMakeFiles/mrlg_dp.dir/net_cache.cpp.o"
+  "CMakeFiles/mrlg_dp.dir/net_cache.cpp.o.d"
+  "CMakeFiles/mrlg_dp.dir/row_polish.cpp.o"
+  "CMakeFiles/mrlg_dp.dir/row_polish.cpp.o.d"
+  "libmrlg_dp.a"
+  "libmrlg_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlg_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

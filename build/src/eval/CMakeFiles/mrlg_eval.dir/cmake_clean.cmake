@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlg_eval.dir/legality.cpp.o"
+  "CMakeFiles/mrlg_eval.dir/legality.cpp.o.d"
+  "CMakeFiles/mrlg_eval.dir/metrics.cpp.o"
+  "CMakeFiles/mrlg_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/mrlg_eval.dir/report.cpp.o"
+  "CMakeFiles/mrlg_eval.dir/report.cpp.o.d"
+  "libmrlg_eval.a"
+  "libmrlg_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlg_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

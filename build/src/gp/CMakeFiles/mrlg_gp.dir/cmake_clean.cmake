@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlg_gp.dir/cg.cpp.o"
+  "CMakeFiles/mrlg_gp.dir/cg.cpp.o.d"
+  "CMakeFiles/mrlg_gp.dir/quadratic.cpp.o"
+  "CMakeFiles/mrlg_gp.dir/quadratic.cpp.o.d"
+  "libmrlg_gp.a"
+  "libmrlg_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlg_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

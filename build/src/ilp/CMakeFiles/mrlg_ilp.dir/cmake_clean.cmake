@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlg_ilp.dir/branch_bound.cpp.o"
+  "CMakeFiles/mrlg_ilp.dir/branch_bound.cpp.o.d"
+  "CMakeFiles/mrlg_ilp.dir/model.cpp.o"
+  "CMakeFiles/mrlg_ilp.dir/model.cpp.o.d"
+  "CMakeFiles/mrlg_ilp.dir/simplex.cpp.o"
+  "CMakeFiles/mrlg_ilp.dir/simplex.cpp.o.d"
+  "libmrlg_ilp.a"
+  "libmrlg_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlg_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

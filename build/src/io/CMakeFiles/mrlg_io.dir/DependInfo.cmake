@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/benchmark_gen.cpp" "src/io/CMakeFiles/mrlg_io.dir/benchmark_gen.cpp.o" "gcc" "src/io/CMakeFiles/mrlg_io.dir/benchmark_gen.cpp.o.d"
+  "/root/repo/src/io/bookshelf.cpp" "src/io/CMakeFiles/mrlg_io.dir/bookshelf.cpp.o" "gcc" "src/io/CMakeFiles/mrlg_io.dir/bookshelf.cpp.o.d"
+  "/root/repo/src/io/lefdef.cpp" "src/io/CMakeFiles/mrlg_io.dir/lefdef.cpp.o" "gcc" "src/io/CMakeFiles/mrlg_io.dir/lefdef.cpp.o.d"
+  "/root/repo/src/io/profiles.cpp" "src/io/CMakeFiles/mrlg_io.dir/profiles.cpp.o" "gcc" "src/io/CMakeFiles/mrlg_io.dir/profiles.cpp.o.d"
+  "/root/repo/src/io/svg.cpp" "src/io/CMakeFiles/mrlg_io.dir/svg.cpp.o" "gcc" "src/io/CMakeFiles/mrlg_io.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/mrlg_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrlg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/legalize/CMakeFiles/mrlg_legalize.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mrlg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/mrlg_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

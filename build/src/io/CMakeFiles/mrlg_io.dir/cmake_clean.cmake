@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlg_io.dir/benchmark_gen.cpp.o"
+  "CMakeFiles/mrlg_io.dir/benchmark_gen.cpp.o.d"
+  "CMakeFiles/mrlg_io.dir/bookshelf.cpp.o"
+  "CMakeFiles/mrlg_io.dir/bookshelf.cpp.o.d"
+  "CMakeFiles/mrlg_io.dir/lefdef.cpp.o"
+  "CMakeFiles/mrlg_io.dir/lefdef.cpp.o.d"
+  "CMakeFiles/mrlg_io.dir/profiles.cpp.o"
+  "CMakeFiles/mrlg_io.dir/profiles.cpp.o.d"
+  "CMakeFiles/mrlg_io.dir/svg.cpp.o"
+  "CMakeFiles/mrlg_io.dir/svg.cpp.o.d"
+  "libmrlg_io.a"
+  "libmrlg_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlg_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

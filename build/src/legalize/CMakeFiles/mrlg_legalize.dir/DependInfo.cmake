@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/legalize/abacus.cpp" "src/legalize/CMakeFiles/mrlg_legalize.dir/abacus.cpp.o" "gcc" "src/legalize/CMakeFiles/mrlg_legalize.dir/abacus.cpp.o.d"
+  "/root/repo/src/legalize/enumeration.cpp" "src/legalize/CMakeFiles/mrlg_legalize.dir/enumeration.cpp.o" "gcc" "src/legalize/CMakeFiles/mrlg_legalize.dir/enumeration.cpp.o.d"
+  "/root/repo/src/legalize/evaluation.cpp" "src/legalize/CMakeFiles/mrlg_legalize.dir/evaluation.cpp.o" "gcc" "src/legalize/CMakeFiles/mrlg_legalize.dir/evaluation.cpp.o.d"
+  "/root/repo/src/legalize/exact_local.cpp" "src/legalize/CMakeFiles/mrlg_legalize.dir/exact_local.cpp.o" "gcc" "src/legalize/CMakeFiles/mrlg_legalize.dir/exact_local.cpp.o.d"
+  "/root/repo/src/legalize/greedy.cpp" "src/legalize/CMakeFiles/mrlg_legalize.dir/greedy.cpp.o" "gcc" "src/legalize/CMakeFiles/mrlg_legalize.dir/greedy.cpp.o.d"
+  "/root/repo/src/legalize/ilp_local.cpp" "src/legalize/CMakeFiles/mrlg_legalize.dir/ilp_local.cpp.o" "gcc" "src/legalize/CMakeFiles/mrlg_legalize.dir/ilp_local.cpp.o.d"
+  "/root/repo/src/legalize/insertion_interval.cpp" "src/legalize/CMakeFiles/mrlg_legalize.dir/insertion_interval.cpp.o" "gcc" "src/legalize/CMakeFiles/mrlg_legalize.dir/insertion_interval.cpp.o.d"
+  "/root/repo/src/legalize/legalizer.cpp" "src/legalize/CMakeFiles/mrlg_legalize.dir/legalizer.cpp.o" "gcc" "src/legalize/CMakeFiles/mrlg_legalize.dir/legalizer.cpp.o.d"
+  "/root/repo/src/legalize/local_problem.cpp" "src/legalize/CMakeFiles/mrlg_legalize.dir/local_problem.cpp.o" "gcc" "src/legalize/CMakeFiles/mrlg_legalize.dir/local_problem.cpp.o.d"
+  "/root/repo/src/legalize/local_region.cpp" "src/legalize/CMakeFiles/mrlg_legalize.dir/local_region.cpp.o" "gcc" "src/legalize/CMakeFiles/mrlg_legalize.dir/local_region.cpp.o.d"
+  "/root/repo/src/legalize/minmax_placement.cpp" "src/legalize/CMakeFiles/mrlg_legalize.dir/minmax_placement.cpp.o" "gcc" "src/legalize/CMakeFiles/mrlg_legalize.dir/minmax_placement.cpp.o.d"
+  "/root/repo/src/legalize/mll.cpp" "src/legalize/CMakeFiles/mrlg_legalize.dir/mll.cpp.o" "gcc" "src/legalize/CMakeFiles/mrlg_legalize.dir/mll.cpp.o.d"
+  "/root/repo/src/legalize/realization.cpp" "src/legalize/CMakeFiles/mrlg_legalize.dir/realization.cpp.o" "gcc" "src/legalize/CMakeFiles/mrlg_legalize.dir/realization.cpp.o.d"
+  "/root/repo/src/legalize/ripup.cpp" "src/legalize/CMakeFiles/mrlg_legalize.dir/ripup.cpp.o" "gcc" "src/legalize/CMakeFiles/mrlg_legalize.dir/ripup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/mrlg_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mrlg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrlg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/mrlg_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

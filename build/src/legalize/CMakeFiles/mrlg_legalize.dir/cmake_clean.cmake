@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlg_legalize.dir/abacus.cpp.o"
+  "CMakeFiles/mrlg_legalize.dir/abacus.cpp.o.d"
+  "CMakeFiles/mrlg_legalize.dir/enumeration.cpp.o"
+  "CMakeFiles/mrlg_legalize.dir/enumeration.cpp.o.d"
+  "CMakeFiles/mrlg_legalize.dir/evaluation.cpp.o"
+  "CMakeFiles/mrlg_legalize.dir/evaluation.cpp.o.d"
+  "CMakeFiles/mrlg_legalize.dir/exact_local.cpp.o"
+  "CMakeFiles/mrlg_legalize.dir/exact_local.cpp.o.d"
+  "CMakeFiles/mrlg_legalize.dir/greedy.cpp.o"
+  "CMakeFiles/mrlg_legalize.dir/greedy.cpp.o.d"
+  "CMakeFiles/mrlg_legalize.dir/ilp_local.cpp.o"
+  "CMakeFiles/mrlg_legalize.dir/ilp_local.cpp.o.d"
+  "CMakeFiles/mrlg_legalize.dir/insertion_interval.cpp.o"
+  "CMakeFiles/mrlg_legalize.dir/insertion_interval.cpp.o.d"
+  "CMakeFiles/mrlg_legalize.dir/legalizer.cpp.o"
+  "CMakeFiles/mrlg_legalize.dir/legalizer.cpp.o.d"
+  "CMakeFiles/mrlg_legalize.dir/local_problem.cpp.o"
+  "CMakeFiles/mrlg_legalize.dir/local_problem.cpp.o.d"
+  "CMakeFiles/mrlg_legalize.dir/local_region.cpp.o"
+  "CMakeFiles/mrlg_legalize.dir/local_region.cpp.o.d"
+  "CMakeFiles/mrlg_legalize.dir/minmax_placement.cpp.o"
+  "CMakeFiles/mrlg_legalize.dir/minmax_placement.cpp.o.d"
+  "CMakeFiles/mrlg_legalize.dir/mll.cpp.o"
+  "CMakeFiles/mrlg_legalize.dir/mll.cpp.o.d"
+  "CMakeFiles/mrlg_legalize.dir/realization.cpp.o"
+  "CMakeFiles/mrlg_legalize.dir/realization.cpp.o.d"
+  "CMakeFiles/mrlg_legalize.dir/ripup.cpp.o"
+  "CMakeFiles/mrlg_legalize.dir/ripup.cpp.o.d"
+  "libmrlg_legalize.a"
+  "libmrlg_legalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlg_legalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

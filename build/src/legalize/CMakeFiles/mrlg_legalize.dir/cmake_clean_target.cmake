@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrlg_legalize.a"
+)

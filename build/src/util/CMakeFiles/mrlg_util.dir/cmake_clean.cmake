@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlg_util.dir/assert.cpp.o"
+  "CMakeFiles/mrlg_util.dir/assert.cpp.o.d"
+  "CMakeFiles/mrlg_util.dir/logging.cpp.o"
+  "CMakeFiles/mrlg_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mrlg_util.dir/str.cpp.o"
+  "CMakeFiles/mrlg_util.dir/str.cpp.o.d"
+  "CMakeFiles/mrlg_util.dir/table.cpp.o"
+  "CMakeFiles/mrlg_util.dir/table.cpp.o.d"
+  "libmrlg_util.a"
+  "libmrlg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

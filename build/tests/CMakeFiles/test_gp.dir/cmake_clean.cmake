@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gp.dir/test_gp.cpp.o"
+  "CMakeFiles/test_gp.dir/test_gp.cpp.o.d"
+  "CMakeFiles/test_gp.dir/test_helpers.cpp.o"
+  "CMakeFiles/test_gp.dir/test_helpers.cpp.o.d"
+  "test_gp"
+  "test_gp.pdb"
+  "test_gp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ilp_local.dir/test_helpers.cpp.o"
+  "CMakeFiles/test_ilp_local.dir/test_helpers.cpp.o.d"
+  "CMakeFiles/test_ilp_local.dir/test_ilp_local.cpp.o"
+  "CMakeFiles/test_ilp_local.dir/test_ilp_local.cpp.o.d"
+  "test_ilp_local"
+  "test_ilp_local.pdb"
+  "test_ilp_local[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ilp_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

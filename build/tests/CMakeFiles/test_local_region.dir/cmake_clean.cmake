@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_region.dir/test_helpers.cpp.o"
+  "CMakeFiles/test_local_region.dir/test_helpers.cpp.o.d"
+  "CMakeFiles/test_local_region.dir/test_local_region.cpp.o"
+  "CMakeFiles/test_local_region.dir/test_local_region.cpp.o.d"
+  "test_local_region"
+  "test_local_region.pdb"
+  "test_local_region[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

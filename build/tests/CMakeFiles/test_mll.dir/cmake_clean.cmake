@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mll.dir/test_helpers.cpp.o"
+  "CMakeFiles/test_mll.dir/test_helpers.cpp.o.d"
+  "CMakeFiles/test_mll.dir/test_mll.cpp.o"
+  "CMakeFiles/test_mll.dir/test_mll.cpp.o.d"
+  "test_mll"
+  "test_mll.pdb"
+  "test_mll[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

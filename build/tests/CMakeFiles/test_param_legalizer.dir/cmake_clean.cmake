@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_legalizer.dir/test_helpers.cpp.o"
+  "CMakeFiles/test_param_legalizer.dir/test_helpers.cpp.o.d"
+  "CMakeFiles/test_param_legalizer.dir/test_param_legalizer.cpp.o"
+  "CMakeFiles/test_param_legalizer.dir/test_param_legalizer.cpp.o.d"
+  "test_param_legalizer"
+  "test_param_legalizer.pdb"
+  "test_param_legalizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_legalizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

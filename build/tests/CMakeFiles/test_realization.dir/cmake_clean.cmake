@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_realization.dir/test_helpers.cpp.o"
+  "CMakeFiles/test_realization.dir/test_helpers.cpp.o.d"
+  "CMakeFiles/test_realization.dir/test_realization.cpp.o"
+  "CMakeFiles/test_realization.dir/test_realization.cpp.o.d"
+  "test_realization"
+  "test_realization.pdb"
+  "test_realization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_realization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ripup.dir/test_helpers.cpp.o"
+  "CMakeFiles/test_ripup.dir/test_helpers.cpp.o.d"
+  "CMakeFiles/test_ripup.dir/test_ripup.cpp.o"
+  "CMakeFiles/test_ripup.dir/test_ripup.cpp.o.d"
+  "test_ripup"
+  "test_ripup.pdb"
+  "test_ripup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ripup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_row_origins.dir/test_helpers.cpp.o"
+  "CMakeFiles/test_row_origins.dir/test_helpers.cpp.o.d"
+  "CMakeFiles/test_row_origins.dir/test_row_origins.cpp.o"
+  "CMakeFiles/test_row_origins.dir/test_row_origins.cpp.o.d"
+  "test_row_origins"
+  "test_row_origins.pdb"
+  "test_row_origins[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_row_origins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

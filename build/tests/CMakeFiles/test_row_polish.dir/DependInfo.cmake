@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_helpers.cpp" "tests/CMakeFiles/test_row_polish.dir/test_helpers.cpp.o" "gcc" "tests/CMakeFiles/test_row_polish.dir/test_helpers.cpp.o.d"
+  "/root/repo/tests/test_row_polish.cpp" "tests/CMakeFiles/test_row_polish.dir/test_row_polish.cpp.o" "gcc" "tests/CMakeFiles/test_row_polish.dir/test_row_polish.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/mrlg_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/mrlg_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/mrlg_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/legalize/CMakeFiles/mrlg_legalize.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mrlg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/mrlg_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/mrlg_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrlg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_row_polish.dir/test_helpers.cpp.o"
+  "CMakeFiles/test_row_polish.dir/test_helpers.cpp.o.d"
+  "CMakeFiles/test_row_polish.dir/test_row_polish.cpp.o"
+  "CMakeFiles/test_row_polish.dir/test_row_polish.cpp.o.d"
+  "test_row_polish"
+  "test_row_polish.pdb"
+  "test_row_polish[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_row_polish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_walkthrough.dir/test_helpers.cpp.o"
+  "CMakeFiles/test_walkthrough.dir/test_helpers.cpp.o.d"
+  "CMakeFiles/test_walkthrough.dir/test_walkthrough.cpp.o"
+  "CMakeFiles/test_walkthrough.dir/test_walkthrough.cpp.o.d"
+  "test_walkthrough"
+  "test_walkthrough.pdb"
+  "test_walkthrough[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
