@@ -1,8 +1,14 @@
 #pragma once
 /// Shared harness utilities for the experiment benches: flag parsing,
-/// design preparation, one-shot legalization runs with metric collection.
+/// design preparation, one-shot legalization runs with metric collection,
+/// and a minimal JSON emitter for machine-readable benchmark trajectories
+/// (`--json <path>`).
 
+#include <cstdint>
+#include <memory>
+#include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "db/database.hpp"
@@ -36,7 +42,44 @@ struct RunMetrics {
     double gp_hpwl_m = 0.0;
     std::size_t direct = 0;
     std::size_t mll = 0;
+    std::size_t points_evaluated = 0;  ///< Insertion points scored by MLL.
 };
+
+/// Minimal JSON value tree (objects keep insertion order). Enough for the
+/// benchmark trajectory files; not a general-purpose parser (write-only).
+class Json {
+public:
+    Json() = default;  // null
+    static Json object();
+    static Json array();
+    static Json num(double v);
+    static Json num(std::int64_t v);
+    static Json num(std::size_t v);
+    static Json str(std::string v);
+    static Json boolean(bool v);
+
+    /// Object member (created/overwritten in insertion order).
+    Json& set(const std::string& key, Json v);
+    /// Array element.
+    Json& push(Json v);
+
+    void write(std::ostream& os, int indent = 0) const;
+
+private:
+    enum class Type { kNull, kBool, kNumber, kInteger, kString, kObject,
+                      kArray };
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::int64_t integer_ = 0;
+    std::string string_;
+    std::vector<std::pair<std::string, Json>> members_;
+    std::vector<Json> elements_;
+};
+
+/// Writes `root` to `path` (pretty-printed, trailing newline). Returns
+/// false (and logs) when the file cannot be opened.
+bool write_json_file(const std::string& path, const Json& root);
 
 /// Unplaces every movable cell so the same design can be legalized again.
 void reset_placement(Database& db, SegmentGrid& grid);

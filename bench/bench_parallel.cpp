@@ -1,0 +1,174 @@
+/// bench_parallel — thread-scaling sweep of the parallel evaluation layer.
+/// For each synthesized design and evaluation mode, legalizes the same
+/// global placement at 1/2/4/8 threads, verifies the final placements are
+/// bit-identical to the serial run (the determinism contract of
+/// thread_pool.hpp), and emits a machine-readable JSON trajectory.
+///
+/// Flags:
+///   --json PATH    output file (default BENCH_parallel.json)
+///   --threads CSV  thread counts to sweep (default "1,2,4,8")
+///   --scale F      cell-count scale factor (default 1.0)
+///   --seed N       generator seed offset (default 0)
+///   --approx-only / --exact-only   restrict the evaluation modes
+///   --large-only   run only the largest design
+
+#include <iostream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "eval/metrics.hpp"
+#include "util/logging.hpp"
+#include "util/str.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+using namespace mrlg;
+using namespace mrlg::bench;
+
+namespace {
+
+struct DesignSpec {
+    std::string name;
+    std::size_t num_single;
+    std::size_t num_double;
+    double density;
+};
+
+std::vector<int> parse_threads(const std::string& csv) {
+    std::vector<int> out;
+    std::size_t pos = 0;
+    while (pos < csv.size()) {
+        const std::size_t comma = csv.find(',', pos);
+        const std::string tok =
+            csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        const int v = std::atoi(tok.c_str());
+        if (v > 0) {
+            out.push_back(v);
+        }
+        if (comma == std::string::npos) {
+            break;
+        }
+        pos = comma + 1;
+    }
+    if (out.empty()) {
+        out = {1, 2, 4, 8};
+    }
+    return out;
+}
+
+std::vector<std::pair<SiteCoord, SiteCoord>> snapshot(const Database& db) {
+    std::vector<std::pair<SiteCoord, SiteCoord>> pos;
+    pos.reserve(db.num_cells());
+    for (const Cell& c : db.cells()) {
+        pos.emplace_back(c.x(), c.y());
+    }
+    return pos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Args args(argc, argv);
+    set_log_level(LogLevel::kWarn);
+    const std::string json_path =
+        args.get_string("--json", "BENCH_parallel.json");
+    const std::vector<int> threads =
+        parse_threads(args.get_string("--threads", "1,2,4,8"));
+    const double scale = args.get_double("--scale", 1.0);
+    const int seed_offset = args.get_int("--seed", 0);
+
+    std::vector<DesignSpec> designs{
+        {"parallel_s", 2000, 200, 0.70},
+        {"parallel_m", 8000, 800, 0.72},
+        {"parallel_l", 24000, 2400, 0.75},
+    };
+    if (args.has_flag("--large-only")) {
+        designs = {designs.back()};
+    }
+    std::vector<bool> modes;  // true = exact evaluation
+    if (!args.has_flag("--exact-only")) {
+        modes.push_back(false);
+    }
+    if (!args.has_flag("--approx-only")) {
+        modes.push_back(true);
+    }
+
+    Json root = Json::object();
+    root.set("bench", Json::str("bench_parallel"));
+    root.set("hardware_threads",
+             Json::num(static_cast<std::int64_t>(
+                 std::thread::hardware_concurrency())));
+    root.set("scale", Json::num(scale));
+    root.set("seed_offset", Json::num(static_cast<std::int64_t>(seed_offset)));
+    Json runs = Json::array();
+
+    for (const DesignSpec& spec : designs) {
+        GenProfile profile;
+        profile.name = spec.name;
+        profile.num_single =
+            static_cast<std::size_t>(static_cast<double>(spec.num_single) *
+                                     scale);
+        profile.num_double =
+            static_cast<std::size_t>(static_cast<double>(spec.num_double) *
+                                     scale);
+        profile.density = spec.density;
+        profile.seed = 11 + static_cast<std::uint64_t>(seed_offset);
+        GenResult gen = generate_benchmark(profile);
+        Database& db = gen.db;
+        SegmentGrid grid = SegmentGrid::build(db);
+        const std::size_t num_cells = db.num_cells();
+
+        for (const bool exact : modes) {
+            std::vector<std::pair<SiteCoord, SiteCoord>> serial_pos;
+            double serial_time = 0.0;
+            for (const int t : threads) {
+                reset_placement(db, grid);
+                LegalizerOptions opts;
+                opts.seed = profile.seed;
+                opts.num_threads = t;
+                opts.mll.exact_evaluation = exact;
+                const RunMetrics m = run_legalization(db, grid, opts);
+                const auto pos = snapshot(db);
+                bool identical = true;
+                if (t == threads.front()) {
+                    serial_pos = pos;
+                    serial_time = m.runtime_s;
+                } else {
+                    identical = pos == serial_pos;
+                }
+                const double speedup =
+                    m.runtime_s > 0.0 ? serial_time / m.runtime_s : 0.0;
+                std::cerr << spec.name << " ["
+                          << (exact ? "exact" : "approx") << "] t=" << t
+                          << ": " << format_fixed(m.runtime_s, 3) << "s"
+                          << " speedup=" << format_fixed(speedup, 2)
+                          << (identical ? "" : "  MISMATCH") << "\n";
+
+                Json run = Json::object();
+                run.set("design", Json::str(spec.name));
+                run.set("cells", Json::num(num_cells));
+                run.set("mode", Json::str(exact ? "exact" : "approx"));
+                run.set("threads", Json::num(static_cast<std::int64_t>(t)));
+                run.set("legalize_s", Json::num(m.runtime_s));
+                run.set("success", Json::boolean(m.success));
+                run.set("points_evaluated", Json::num(m.points_evaluated));
+                run.set("disp_avg_sites", Json::num(m.disp_avg_sites));
+                run.set("dhpwl_pct", Json::num(m.dhpwl_pct));
+                run.set("speedup_vs_serial", Json::num(speedup));
+                run.set("identical_to_serial", Json::boolean(identical));
+                runs.push(std::move(run));
+                if (!identical) {
+                    std::cerr << "FATAL: thread count changed the placement"
+                              << "\n";
+                    return 1;
+                }
+            }
+        }
+    }
+    root.set("runs", std::move(runs));
+    if (!write_json_file(json_path, root)) {
+        return 1;
+    }
+    std::cerr << "wrote " << json_path << "\n";
+    return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.hpp"
+
 namespace mrlg {
 
 bool rail_compatible(SiteCoord y, SiteCoord height, RailPhase p) {
@@ -33,13 +35,59 @@ bool position_legal_for_cell(const Database& db, const SegmentGrid& grid,
     return true;
 }
 
+namespace {
+
+/// A violation found by a parallel chunk, recorded id-only so message
+/// strings are built serially (and only up to the message cap).
+struct Violation {
+    enum class Kind { kUnplaced, kOutOfRows, kRail, kOverlap };
+    Kind kind;
+    CellId a;
+    CellId b;  ///< Second party of an overlap.
+};
+
+}  // namespace
+
 LegalityReport check_legality(const Database& db, const SegmentGrid& grid,
                               const LegalityOptions& opts) {
     LegalityReport rep;
-    auto note = [&](std::string msg) {
+    auto note = [&](const Violation& v) {
         rep.legal = false;
-        if (rep.messages.size() < opts.max_messages) {
-            rep.messages.push_back(std::move(msg));
+        switch (v.kind) {
+            case Violation::Kind::kUnplaced:
+                ++rep.num_unplaced;
+                break;
+            case Violation::Kind::kOutOfRows:
+                ++rep.num_out_of_rows;
+                break;
+            case Violation::Kind::kRail:
+                ++rep.num_rail_violations;
+                break;
+            case Violation::Kind::kOverlap:
+                ++rep.num_overlaps;
+                break;
+        }
+        if (rep.messages.size() >= opts.max_messages) {
+            return;
+        }
+        switch (v.kind) {
+            case Violation::Kind::kUnplaced:
+                rep.messages.push_back("cell " + db.cell(v.a).name() +
+                                       " is unplaced");
+                break;
+            case Violation::Kind::kOutOfRows:
+                rep.messages.push_back("cell " + db.cell(v.a).name() +
+                                       " outside rows/segments");
+                break;
+            case Violation::Kind::kRail:
+                rep.messages.push_back("cell " + db.cell(v.a).name() +
+                                       " violates power-rail parity");
+                break;
+            case Violation::Kind::kOverlap:
+                rep.messages.push_back("overlap between " +
+                                       db.cell(v.a).name() + " and " +
+                                       db.cell(v.b).name());
+                break;
         }
     };
 
@@ -53,31 +101,63 @@ LegalityReport check_legality(const Database& db, const SegmentGrid& grid,
     std::vector<std::vector<Slice>> per_row(
         static_cast<std::size_t>(std::max<SiteCoord>(num_rows, 0)));
 
+    // Phase 1 — per-cell checks (constraints 2-4), parallel over fixed
+    // cell chunks; each chunk gathers id-only violation records in cell
+    // order. Combining in chunk order reproduces the serial report.
+    struct CellChunk {
+        std::vector<Violation> violations;
+    };
+    constexpr std::size_t kCellGrain = 256;
+    const auto cell_map = [&](std::size_t begin, std::size_t end) {
+        CellChunk out;
+        for (std::size_t i = begin; i < end; ++i) {
+            const Cell& cell = db.cells()[i];
+            const CellId id{static_cast<CellId::underlying>(i)};
+            if (cell.fixed()) {
+                continue;
+            }
+            if (!cell.placed()) {
+                if (opts.require_all_placed) {
+                    out.violations.push_back(
+                        {Violation::Kind::kUnplaced, id, id});
+                }
+                continue;
+            }
+            // Constraint 2+3: aligned, contained in segments row by row.
+            if (!position_legal_for_cell(db, grid, id, cell.x(), cell.y(),
+                                         /*check_rail_alignment=*/false)) {
+                out.violations.push_back(
+                    {Violation::Kind::kOutOfRows, id, id});
+            }
+            // Constraint 4.
+            if (opts.check_rail_alignment &&
+                !rail_compatible(cell.y(), cell.height(),
+                                 cell.rail_phase())) {
+                out.violations.push_back({Violation::Kind::kRail, id, id});
+            }
+        }
+        return out;
+    };
+    const auto cell_combine = [&](CellChunk acc, CellChunk part) {
+        acc.violations.insert(acc.violations.end(), part.violations.begin(),
+                              part.violations.end());
+        return acc;
+    };
+    const CellChunk cell_result =
+        parallel_reduce(db.num_cells(), kCellGrain, opts.num_threads,
+                        CellChunk{}, cell_map, cell_combine);
+    for (const Violation& v : cell_result.violations) {
+        note(v);
+    }
+
+    // Slice scatter stays serial: it is a cheap pass, and the resulting
+    // per-row order is canonicalized by the sort below anyway.
     for (std::size_t i = 0; i < db.num_cells(); ++i) {
         const Cell& cell = db.cells()[i];
+        if (cell.fixed() || !cell.placed()) {
+            continue;
+        }
         const CellId id{static_cast<CellId::underlying>(i)};
-        if (cell.fixed()) {
-            continue;
-        }
-        if (!cell.placed()) {
-            if (opts.require_all_placed) {
-                ++rep.num_unplaced;
-                note("cell " + cell.name() + " is unplaced");
-            }
-            continue;
-        }
-        // Constraint 2+3: aligned, contained in segments row by row.
-        if (!position_legal_for_cell(db, grid, id, cell.x(), cell.y(),
-                                     /*check_rail_alignment=*/false)) {
-            ++rep.num_out_of_rows;
-            note("cell " + cell.name() + " outside rows/segments");
-        }
-        // Constraint 4.
-        if (opts.check_rail_alignment &&
-            !rail_compatible(cell.y(), cell.height(), cell.rail_phase())) {
-            ++rep.num_rail_violations;
-            note("cell " + cell.name() + " violates power-rail parity");
-        }
         for (SiteCoord row = cell.y();
              row < cell.y() + cell.height(); ++row) {
             if (row >= 0 && row < num_rows) {
@@ -89,23 +169,45 @@ LegalityReport check_legality(const Database& db, const SegmentGrid& grid,
         }
     }
 
-    // Constraint 1: per-row sweep; within a row, sorted slices must not
-    // overlap. Cross-row overlap of multi-row cells is covered because a
-    // multi-row cell contributes a slice to every row it crosses.
-    for (auto& row : per_row) {
-        std::sort(row.begin(), row.end(), [](const Slice& a, const Slice& b) {
-            return a.x < b.x || (a.x == b.x && a.cell < b.cell);
-        });
-        for (std::size_t i = 1; i < row.size(); ++i) {
-            if (row[i].x < row[i - 1].x_hi) {
-                ++rep.num_overlaps;
-                note("overlap between " + db.cell(row[i - 1].cell).name() +
-                     " and " + db.cell(row[i].cell).name());
+    // Phase 2 — constraint 1: per-row sweep, parallel over fixed row
+    // chunks (rows are disjoint, so sorting in place is race-free).
+    // Within a row, sorted slices must not overlap. Cross-row overlap of
+    // multi-row cells is covered because a multi-row cell contributes a
+    // slice to every row it crosses.
+    struct RowChunk {
+        std::vector<Violation> violations;
+    };
+    constexpr std::size_t kRowGrain = 16;
+    const auto row_map = [&](std::size_t begin, std::size_t end) {
+        RowChunk out;
+        for (std::size_t r = begin; r < end; ++r) {
+            std::vector<Slice>& row = per_row[r];
+            std::sort(row.begin(), row.end(),
+                      [](const Slice& a, const Slice& b) {
+                          return a.x < b.x || (a.x == b.x && a.cell < b.cell);
+                      });
+            for (std::size_t i = 1; i < row.size(); ++i) {
+                if (row[i].x < row[i - 1].x_hi) {
+                    out.violations.push_back({Violation::Kind::kOverlap,
+                                              row[i - 1].cell,
+                                              row[i].cell});
+                }
             }
         }
+        return out;
+    };
+    const auto row_combine = [&](RowChunk acc, RowChunk part) {
+        acc.violations.insert(acc.violations.end(), part.violations.begin(),
+                              part.violations.end());
+        return acc;
+    };
+    const RowChunk row_result =
+        parallel_reduce(per_row.size(), kRowGrain, opts.num_threads,
+                        RowChunk{}, row_map, row_combine);
+    for (const Violation& v : row_result.violations) {
+        note(v);
     }
 
-    static_cast<void>(grid);
     return rep;
 }
 

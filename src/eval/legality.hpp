@@ -25,6 +25,11 @@ struct LegalityOptions {
     bool require_all_placed = true;
     /// Stop collecting messages after this many violations.
     std::size_t max_messages = 32;
+    /// Worker threads for the per-cell checks and the per-row overlap
+    /// sweep. 0 = MRLG_THREADS environment default, 1 = serial. Violations
+    /// are gathered per fixed chunk and merged in chunk order, so counters
+    /// and messages are bit-identical for every thread count.
+    int num_threads = 0;
 };
 
 struct LegalityReport {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/thread_pool.hpp"
+
 namespace mrlg {
 
 namespace {
@@ -33,34 +35,45 @@ PinPos pin_position(const Database& db, const Pin& pin,
 
 }  // namespace
 
-double hpwl_um(const Database& db, PositionSource source) {
-    double total = 0.0;
-    for (const Net& net : db.nets()) {
-        if (net.degree() < 2) {
-            continue;
+double hpwl_um(const Database& db, PositionSource source, int num_threads) {
+    const std::vector<Net>& nets = db.nets();
+    // Fixed grain: chunk boundaries (and thus the floating-point summation
+    // order) depend only on the net count, never on the thread count.
+    constexpr std::size_t kGrain = 512;
+    const auto map = [&](std::size_t begin, std::size_t end) {
+        double partial = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+            const Net& net = nets[i];
+            if (net.degree() < 2) {
+                continue;
+            }
+            double x_lo = std::numeric_limits<double>::max();
+            double x_hi = std::numeric_limits<double>::lowest();
+            double y_lo = std::numeric_limits<double>::max();
+            double y_hi = std::numeric_limits<double>::lowest();
+            for (const PinId pid : net.pins()) {
+                const PinPos p = pin_position(db, db.pin(pid), source);
+                x_lo = std::min(x_lo, p.x_um);
+                x_hi = std::max(x_hi, p.x_um);
+                y_lo = std::min(y_lo, p.y_um);
+                y_hi = std::max(y_hi, p.y_um);
+            }
+            partial += (x_hi - x_lo) + (y_hi - y_lo);
         }
-        double x_lo = std::numeric_limits<double>::max();
-        double x_hi = std::numeric_limits<double>::lowest();
-        double y_lo = std::numeric_limits<double>::max();
-        double y_hi = std::numeric_limits<double>::lowest();
-        for (const PinId pid : net.pins()) {
-            const PinPos p = pin_position(db, db.pin(pid), source);
-            x_lo = std::min(x_lo, p.x_um);
-            x_hi = std::max(x_hi, p.x_um);
-            y_lo = std::min(y_lo, p.y_um);
-            y_hi = std::max(y_hi, p.y_um);
-        }
-        total += (x_hi - x_lo) + (y_hi - y_lo);
-    }
-    return total;
+        return partial;
+    };
+    return parallel_reduce(nets.size(), kGrain, num_threads, 0.0, map,
+                           [](double acc, double p) { return acc + p; });
 }
 
-double hpwl_delta(const Database& db) {
-    const double gp = hpwl_um(db, PositionSource::kGlobalPlacement);
+double hpwl_delta(const Database& db, int num_threads) {
+    const double gp =
+        hpwl_um(db, PositionSource::kGlobalPlacement, num_threads);
     if (gp <= 0.0) {
         return 0.0;
     }
-    const double legal = hpwl_um(db, PositionSource::kLegalized);
+    const double legal =
+        hpwl_um(db, PositionSource::kLegalized, num_threads);
     return (legal - gp) / gp;
 }
 

@@ -15,16 +15,21 @@ enum class PositionSource {
 
 /// Half-perimeter wirelength in microns, summed over all nets with >= 2
 /// pins. Pins on fixed cells use the fixed position regardless of source.
-double hpwl_um(const Database& db, PositionSource source);
+/// Parallel reduce over nets; partial sums are always combined in fixed
+/// chunk order, so the result is bit-identical for every `num_threads`
+/// (0 = MRLG_THREADS environment default, 1 = serial).
+double hpwl_um(const Database& db, PositionSource source,
+               int num_threads = 0);
 
 /// HPWL in metres (the unit of Table 1's "GP HPWL(m)" column).
-inline double hpwl_m(const Database& db, PositionSource source) {
-    return hpwl_um(db, source) * 1e-6;
+inline double hpwl_m(const Database& db, PositionSource source,
+                     int num_threads = 0) {
+    return hpwl_um(db, source, num_threads) * 1e-6;
 }
 
 /// Relative wirelength change of the legalized placement vs the global
 /// placement: (legal - gp) / gp. Matches Table 1's ΔHPWL column.
-double hpwl_delta(const Database& db);
+double hpwl_delta(const Database& db, int num_threads = 0);
 
 struct DisplacementStats {
     double total_um = 0.0;    ///< Σ |dx|·site_w + |dy|·site_h over cells.

@@ -56,18 +56,29 @@ double y_cost_um(const LocalProblem& lp, const InsertionPoint& p,
 
 std::pair<SiteCoord, double> minimize_hinge_cost(const HingeSet& hinges,
                                                  SiteCoord lo, SiteCoord hi) {
+    EvalScratch scratch;
+    return minimize_hinge_cost(hinges, lo, hi, scratch);
+}
+
+std::pair<SiteCoord, double> minimize_hinge_cost(const HingeSet& hinges,
+                                                 SiteCoord lo, SiteCoord hi,
+                                                 EvalScratch& scratch) {
     MRLG_ASSERT(lo <= hi, "empty feasible range");
-    std::vector<SiteCoord> a = hinges.a;
-    std::vector<SiteCoord> b = hinges.b;
+    std::vector<SiteCoord>& a = scratch.a_sorted;
+    std::vector<SiteCoord>& b = scratch.b_sorted;
+    a.assign(hinges.a.begin(), hinges.a.end());
+    b.assign(hinges.b.begin(), hinges.b.end());
     std::sort(a.begin(), a.end());
     std::sort(b.begin(), b.end());
 
     // Suffix sums of a (for sum of a_i > x), prefix sums of b.
-    std::vector<double> a_suffix(a.size() + 1, 0.0);
+    std::vector<double>& a_suffix = scratch.a_suffix;
+    a_suffix.assign(a.size() + 1, 0.0);
     for (std::size_t i = a.size(); i-- > 0;) {
         a_suffix[i] = a_suffix[i + 1] + static_cast<double>(a[i]);
     }
-    std::vector<double> b_prefix(b.size() + 1, 0.0);
+    std::vector<double>& b_prefix = scratch.b_prefix;
+    b_prefix.assign(b.size() + 1, 0.0);
     for (std::size_t i = 0; i < b.size(); ++i) {
         b_prefix[i + 1] = b_prefix[i] + static_cast<double>(b[i]);
     }
@@ -87,7 +98,10 @@ std::pair<SiteCoord, double> minimize_hinge_cost(const HingeSet& hinges,
     };
 
     // Candidate positions: every breakpoint clamped into [lo, hi].
-    std::vector<SiteCoord> cand{lo, hi};
+    std::vector<SiteCoord>& cand = scratch.cand;
+    cand.clear();
+    cand.push_back(lo);
+    cand.push_back(hi);
     auto push_clamped = [&](double v) {
         const double c = std::clamp(v, static_cast<double>(lo),
                                     static_cast<double>(hi));
@@ -128,11 +142,21 @@ std::pair<SiteCoord, double> minimize_hinge_cost(const HingeSet& hinges,
 Evaluation evaluate_insertion_point_approx(const LocalProblem& lp,
                                            const InsertionPoint& point,
                                            const TargetSpec& target) {
+    EvalScratch scratch;
+    return evaluate_insertion_point_approx(lp, point, target, scratch);
+}
+
+Evaluation evaluate_insertion_point_approx(const LocalProblem& lp,
+                                           const InsertionPoint& point,
+                                           const TargetSpec& target,
+                                           EvalScratch& scratch) {
     Evaluation ev;
     if (point.lo > point.hi) {
         return ev;
     }
-    HingeSet hinges;
+    HingeSet& hinges = scratch.hinges;
+    hinges.a.clear();
+    hinges.b.clear();
     hinges.pref = target.pref_x;
     const int ht = static_cast<int>(point.gaps.size());
     for (int j = 0; j < ht; ++j) {
@@ -151,7 +175,7 @@ Evaluation evaluate_insertion_point_approx(const LocalProblem& lp,
         }
     }
     const auto [xt, cost_sites] =
-        minimize_hinge_cost(hinges, point.lo, point.hi);
+        minimize_hinge_cost(hinges, point.lo, point.hi, scratch);
     ev.feasible = true;
     ev.xt = xt;
     ev.cost_um = cost_sites * lp.site_w_um() + y_cost_um(lp, point, target);
@@ -161,8 +185,15 @@ Evaluation evaluate_insertion_point_approx(const LocalProblem& lp,
 CriticalPositions compute_critical_positions(const LocalProblem& lp,
                                              const InsertionPoint& point,
                                              SiteCoord target_w) {
-    const std::size_t n = static_cast<std::size_t>(lp.num_cells());
     CriticalPositions cp;
+    compute_critical_positions(lp, point, target_w, cp);
+    return cp;
+}
+
+void compute_critical_positions(const LocalProblem& lp,
+                                const InsertionPoint& point,
+                                SiteCoord target_w, CriticalPositions& cp) {
+    const std::size_t n = static_cast<std::size_t>(lp.num_cells());
     cp.xa.assign(n, kSiteCoordMin);
     cp.xb.assign(n, kSiteCoordMax);
 
@@ -219,19 +250,28 @@ CriticalPositions compute_critical_positions(const LocalProblem& lp,
             cp.xb[static_cast<std::size_t>(ci)] = c.x + best;
         }
     }
-    return cp;
 }
 
 Evaluation evaluate_insertion_point_exact(const LocalProblem& lp,
                                           const InsertionPoint& point,
                                           const TargetSpec& target) {
+    EvalScratch scratch;
+    return evaluate_insertion_point_exact(lp, point, target, scratch);
+}
+
+Evaluation evaluate_insertion_point_exact(const LocalProblem& lp,
+                                          const InsertionPoint& point,
+                                          const TargetSpec& target,
+                                          EvalScratch& scratch) {
     Evaluation ev;
     if (point.lo > point.hi) {
         return ev;
     }
-    const CriticalPositions cp =
-        compute_critical_positions(lp, point, target.w);
-    HingeSet hinges;
+    compute_critical_positions(lp, point, target.w, scratch.cp);
+    const CriticalPositions& cp = scratch.cp;
+    HingeSet& hinges = scratch.hinges;
+    hinges.a.clear();
+    hinges.b.clear();
     hinges.pref = target.pref_x;
     for (std::size_t i = 0; i < cp.xa.size(); ++i) {
         const bool has_a = cp.xa[i] != kSiteCoordMin;
@@ -246,7 +286,7 @@ Evaluation evaluate_insertion_point_exact(const LocalProblem& lp,
         }
     }
     const auto [xt, cost_sites] =
-        minimize_hinge_cost(hinges, point.lo, point.hi);
+        minimize_hinge_cost(hinges, point.lo, point.hi, scratch);
     ev.feasible = true;
     ev.xt = xt;
     ev.cost_um = cost_sites * lp.site_w_um() + y_cost_um(lp, point, target);

@@ -36,22 +36,6 @@ struct HingeSet {
     double pref = 0.0;
 };
 
-/// Minimizes the hinge cost over integer x in [lo, hi] (lo <= hi required).
-/// Returns (argmin, cost). Cost unit: sites. Ties break toward smaller
-/// |x - pref|, then smaller x — deterministic across platforms.
-std::pair<SiteCoord, double> minimize_hinge_cost(const HingeSet& hinges,
-                                                 SiteCoord lo, SiteCoord hi);
-
-/// Paper §5.2 approximation: neighbours of the gap only.
-Evaluation evaluate_insertion_point_approx(const LocalProblem& lp,
-                                           const InsertionPoint& point,
-                                           const TargetSpec& target);
-
-/// Exact evaluation: critical positions for all local cells.
-Evaluation evaluate_insertion_point_exact(const LocalProblem& lp,
-                                          const InsertionPoint& point,
-                                          const TargetSpec& target);
-
 /// Exact critical positions for every local cell under `point`:
 /// result[i] = {xa, xb} with xa = -inf (kSiteCoordMin) when the cell can
 /// never be pushed left-ward chainwise, xb = +inf (kSiteCoordMax) likewise.
@@ -60,8 +44,55 @@ struct CriticalPositions {
     std::vector<SiteCoord> xa;  ///< Push-left thresholds (left-side cells).
     std::vector<SiteCoord> xb;  ///< Push-right thresholds (right-side cells).
 };
+
+/// Reusable buffers for the per-candidate evaluation hot path. One scratch
+/// object per thread; the MLL scan keeps a thread_local instance so
+/// steady-state evaluation performs no allocations. A default-constructed
+/// scratch is always valid.
+struct EvalScratch {
+    HingeSet hinges;
+    CriticalPositions cp;
+    // minimize_hinge_cost internals
+    std::vector<SiteCoord> a_sorted;
+    std::vector<SiteCoord> b_sorted;
+    std::vector<SiteCoord> cand;
+    std::vector<double> a_suffix;
+    std::vector<double> b_prefix;
+};
+
+/// Minimizes the hinge cost over integer x in [lo, hi] (lo <= hi required).
+/// Returns (argmin, cost). Cost unit: sites. Ties break toward smaller
+/// |x - pref|, then smaller x — deterministic across platforms.
+std::pair<SiteCoord, double> minimize_hinge_cost(const HingeSet& hinges,
+                                                 SiteCoord lo, SiteCoord hi);
+std::pair<SiteCoord, double> minimize_hinge_cost(const HingeSet& hinges,
+                                                 SiteCoord lo, SiteCoord hi,
+                                                 EvalScratch& scratch);
+
+/// Paper §5.2 approximation: neighbours of the gap only.
+Evaluation evaluate_insertion_point_approx(const LocalProblem& lp,
+                                           const InsertionPoint& point,
+                                           const TargetSpec& target);
+Evaluation evaluate_insertion_point_approx(const LocalProblem& lp,
+                                           const InsertionPoint& point,
+                                           const TargetSpec& target,
+                                           EvalScratch& scratch);
+
+/// Exact evaluation: critical positions for all local cells.
+Evaluation evaluate_insertion_point_exact(const LocalProblem& lp,
+                                          const InsertionPoint& point,
+                                          const TargetSpec& target);
+Evaluation evaluate_insertion_point_exact(const LocalProblem& lp,
+                                          const InsertionPoint& point,
+                                          const TargetSpec& target,
+                                          EvalScratch& scratch);
+
 CriticalPositions compute_critical_positions(const LocalProblem& lp,
                                              const InsertionPoint& point,
                                              SiteCoord target_w);
+/// In-place variant reusing `cp`'s buffers.
+void compute_critical_positions(const LocalProblem& lp,
+                                const InsertionPoint& point,
+                                SiteCoord target_w, CriticalPositions& cp);
 
 }  // namespace mrlg

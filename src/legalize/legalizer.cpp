@@ -60,6 +60,14 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
     LegalizerStats stats;
     Rng rng(opts.seed);
 
+    // Effective MLL options: LegalizerOptions::num_threads fills the MLL
+    // thread count unless the caller pinned it explicitly.
+    MllOptions mll_opts = opts.mll;
+    if (mll_opts.num_threads == 0) {
+        mll_opts.num_threads = opts.num_threads;
+    }
+    MllScratch scratch;  // reused by every MLL attempt of this run
+
     std::vector<CellId> order = db.movable_cells();
     stats.num_cells = order.size();
     switch (opts.order) {
@@ -106,17 +114,19 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
     auto try_place = [&](CellId c, double px, double py,
                          bool allow_fallback, bool allow_ripup) -> bool {
         const Point p =
-            nearest_aligned_position(db, c, px, py, opts.mll.check_rail);
+            nearest_aligned_position(db, c, px, py, mll_opts.check_rail);
         const Cell& cell = db.cell(c);
         const Rect fitted{p.x, p.y, cell.width(), cell.height()};
-        if ((!opts.mll.check_rail ||
+        if ((!mll_opts.check_rail ||
              rail_compatible(p.y, cell.height(), cell.rail_phase())) &&
             grid.placeable(db, fitted, CellId{}, cell.region())) {
             grid.place(db, c, p.x, p.y);
             ++stats.direct_placements;
             return true;
         }
-        const MllResult r = mll_place(db, grid, c, px, py, opts.mll);
+        const MllResult r =
+            mll_place(db, grid, c, px, py, mll_opts, &scratch);
+        stats.mll_points_evaluated += r.num_points;
         if (r.success()) {
             ++stats.mll_successes;
             return true;
@@ -127,7 +137,7 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
             // around the *original* gp position (not the jittered one).
             const auto slot = find_nearest_free_position(
                 db, grid, c, cell.gp_x(), cell.gp_y(),
-                opts.mll.check_rail);
+                mll_opts.check_rail);
             if (slot) {
                 grid.place(db, c, slot->x, slot->y);
                 ++stats.fallback_placements;
@@ -136,7 +146,7 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
         }
         if (allow_ripup) {
             RipupOptions ropts;
-            ropts.mll = opts.mll;
+            ropts.mll = mll_opts;
             const RipupResult rr = ripup_place(db, grid, c, cell.gp_x(),
                                                cell.gp_y(), ropts);
             if (rr.success) {

@@ -47,6 +47,11 @@ struct LegalizerOptions {
     /// re-insert the evicted cells (transactional — see ripup.hpp).
     /// Rescues multi-row cells whose paired-row capacity was starved.
     bool enable_ripup = true;
+    /// Worker threads for the parallel evaluation hot paths. Fills
+    /// mll.num_threads when that is 0; 0 here means the MRLG_THREADS
+    /// environment default. Results are bit-identical for any value (see
+    /// thread_pool.hpp's determinism contract).
+    int num_threads = 0;
 };
 
 struct LegalizerStats {
@@ -58,6 +63,9 @@ struct LegalizerStats {
     std::size_t fallback_placements = 0;  ///< Free-slot fallback hits.
     std::size_t ripup_placements = 0;     ///< Rip-up transactions applied.
     std::size_t unplaced = 0;      ///< Cells still unplaced at the end.
+    /// Insertion points evaluated across all direct MLL attempts (the
+    /// parallel scan's per-point count, summed; rip-up internals excluded).
+    std::size_t mll_points_evaluated = 0;
     int rounds = 0;
     double runtime_s = 0.0;
 };

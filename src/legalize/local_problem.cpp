@@ -8,14 +8,18 @@
 namespace mrlg {
 
 LocalProblem LocalProblem::build(const Database& db,
-                                 const LocalRegion& region) {
+                                 const LocalRegion& region,
+                                 LocalProblemScratch* scratch) {
     LocalProblem lp;
     lp.y0_ = region.y0();
     lp.site_w_um_ = db.floorplan().site_w_um();
     lp.site_h_um_ = db.floorplan().site_h_um();
     lp.rows_.resize(static_cast<std::size_t>(region.height()));
 
-    std::unordered_map<CellId, int> index_of;
+    LocalProblemScratch local_scratch;
+    std::unordered_map<CellId, int>& index_of =
+        (scratch != nullptr ? *scratch : local_scratch).index_of;
+    index_of.clear();
     index_of.reserve(region.local_cells().size());
     for (const CellId id : region.local_cells()) {
         const Cell& c = db.cell(id);

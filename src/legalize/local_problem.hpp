@@ -5,12 +5,18 @@
 /// evaluation, realization) operate on this structure; the Database is only
 /// touched when a chosen solution is committed.
 
+#include <unordered_map>
 #include <vector>
 
 #include "db/database.hpp"
 #include "legalize/local_region.hpp"
 
 namespace mrlg {
+
+/// Reusable buffers for LocalProblem::build (one build per MLL attempt).
+struct LocalProblemScratch {
+    std::unordered_map<CellId, int> index_of;
+};
 
 /// A local cell, indexed 0..num_cells-1 within the problem.
 struct LpCell {
@@ -37,7 +43,8 @@ struct LpRow {
 /// The extracted local problem. Row k corresponds to absolute row y0 + k.
 class LocalProblem {
 public:
-    static LocalProblem build(const Database& db, const LocalRegion& region);
+    static LocalProblem build(const Database& db, const LocalRegion& region,
+                              LocalProblemScratch* scratch = nullptr);
 
     int num_rows() const { return static_cast<int>(rows_.size()); }
     bool has_row(int k) const {

@@ -22,23 +22,25 @@ SiteCoord span_distance2(const Span& s, SiteCoord cx2) {
     return 0;
 }
 
-/// Subtracts `cut` from every span in `pieces` (in place).
-void subtract(std::vector<Span>& pieces, const Span& cut) {
-    std::vector<Span> out;
-    out.reserve(pieces.size() + 1);
+/// Subtracts `cut` from every span in `pieces` (in place). `tmp` is a
+/// caller-provided double-buffer so repeated calls reuse one allocation.
+void subtract(std::vector<Span>& pieces, const Span& cut,
+              std::vector<Span>& tmp) {
+    tmp.clear();
+    tmp.reserve(pieces.size() + 1);
     for (const Span& p : pieces) {
         if (!p.overlaps(cut)) {
-            out.push_back(p);
+            tmp.push_back(p);
             continue;
         }
         if (cut.lo > p.lo) {
-            out.push_back(Span{p.lo, cut.lo});
+            tmp.push_back(Span{p.lo, cut.lo});
         }
         if (cut.hi < p.hi) {
-            out.push_back(Span{cut.hi, p.hi});
+            tmp.push_back(Span{cut.hi, p.hi});
         }
     }
-    pieces = std::move(out);
+    pieces.swap(tmp);
 }
 
 /// Picks the piece closest to centre x (doubled coords); ties broken by
@@ -70,7 +72,8 @@ std::optional<std::size_t> pick_piece(const std::vector<Span>& pieces,
 }  // namespace
 
 LocalRegion extract_local_region(const Database& db, const SegmentGrid& grid,
-                                 const Rect& window, int fence_region) {
+                                 const Rect& window, int fence_region,
+                                 LocalRegionScratch* scratch) {
     const SiteCoord num_rows = db.floorplan().num_rows();
     const SiteCoord y_lo = std::max<SiteCoord>(window.y, 0);
     const SiteCoord y_hi = std::min<SiteCoord>(window.y_hi(), num_rows);
@@ -83,18 +86,26 @@ LocalRegion extract_local_region(const Database& db, const SegmentGrid& grid,
     }
     const SiteCoord cx2 = window.center2().x;
 
+    LocalRegionScratch local_scratch;
+    LocalRegionScratch& s = scratch != nullptr ? *scratch : local_scratch;
+
     // Per row: candidate pieces (span within window, cut by blockers) and
     // the global segment each piece came from.
-    struct RowState {
-        std::vector<Span> pieces;
-        std::vector<SegmentId> piece_segment;
-        std::optional<std::size_t> chosen;
-    };
-    std::vector<RowState> state(height);
+    using RowState = LocalRegionScratch::RowScratch;
+    if (s.rows.size() < height) {
+        s.rows.resize(height);
+    }
+    std::vector<RowState>& state = s.rows;
+    for (std::size_t k = 0; k < height; ++k) {
+        state[k].pieces.clear();
+        state[k].piece_segment.clear();
+        state[k].chosen.reset();
+    }
 
     // `blockers` = cells currently known to be non-local. Initially: every
     // placed cell whose rect is not fully contained in the window.
-    std::unordered_set<CellId> blockers;
+    std::unordered_set<CellId>& blockers = s.blockers;
+    blockers.clear();
 
     auto rebuild_row = [&](std::size_t k) {
         RowState& rs = state[k];
@@ -110,7 +121,9 @@ LocalRegion extract_local_region(const Database& db, const SegmentGrid& grid,
             if (base.empty()) {
                 continue;
             }
-            std::vector<Span> pieces{base};
+            std::vector<Span>& pieces = s.seg_pieces;
+            pieces.clear();
+            pieces.push_back(base);
             // Cut by blocker cells on this segment.
             const auto [first, last] =
                 grid.cells_overlapping(db, seg, base);
@@ -119,7 +132,8 @@ LocalRegion extract_local_region(const Database& db, const SegmentGrid& grid,
                 if (blockers.count(c) != 0) {
                     const Cell& cell = db.cell(c);
                     subtract(pieces,
-                             Span{cell.x(), cell.x() + cell.width()});
+                             Span{cell.x(), cell.x() + cell.width()},
+                             s.span_tmp);
                 }
             }
             for (const Span& p : pieces) {
@@ -217,7 +231,8 @@ LocalRegion extract_local_region(const Database& db, const SegmentGrid& grid,
     }
 
     // Emit final rows and local cell lists.
-    std::vector<CellId> locals;
+    std::vector<CellId>& locals = s.locals;
+    locals.clear();
     for (std::size_t k = 0; k < height; ++k) {
         const RowState& rs = state[k];
         if (!rs.chosen) {
@@ -243,7 +258,9 @@ LocalRegion extract_local_region(const Database& db, const SegmentGrid& grid,
         region.mutable_row(static_cast<int>(k)) = std::move(lr);
     }
     std::sort(locals.begin(), locals.end());
-    region.set_local_cells(std::move(locals));
+    // Copy (not move): `locals` may be scratch-owned and must keep its
+    // capacity for the next extraction.
+    region.set_local_cells(std::vector<CellId>(locals.begin(), locals.end()));
     return region;
 }
 

@@ -6,6 +6,7 @@
 /// shift in x during MLL) and non-local (frozen, acting as obstacles).
 
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "db/database.hpp"
@@ -64,6 +65,24 @@ private:
     std::vector<CellId> local_cells_;
 };
 
+/// Reusable buffers for extract_local_region. The legalizer extracts one
+/// region per MLL attempt (thousands per run); passing the same scratch to
+/// every call keeps the per-row piece vectors, the blocker set and the
+/// local-cell list at their high-water capacity instead of reallocating
+/// them each time. A default-constructed scratch is always valid.
+struct LocalRegionScratch {
+    struct RowScratch {
+        std::vector<Span> pieces;
+        std::vector<SegmentId> piece_segment;
+        std::optional<std::size_t> chosen;
+    };
+    std::vector<RowScratch> rows;
+    std::unordered_set<CellId> blockers;
+    std::vector<CellId> locals;
+    std::vector<Span> seg_pieces;  ///< per-segment piece accumulator.
+    std::vector<Span> span_tmp;    ///< subtract() double-buffer.
+};
+
 /// Extracts the localized problem inside `window`.
 ///
 /// Implementation note: the paper defines non-local cells in two layers
@@ -73,6 +92,7 @@ private:
 /// are unusable). We run the selection to a fixpoint: blockers accumulate
 /// monotonically, so this terminates.
 LocalRegion extract_local_region(const Database& db, const SegmentGrid& grid,
-                                 const Rect& window, int fence_region = 0);
+                                 const Rect& window, int fence_region = 0,
+                                 LocalRegionScratch* scratch = nullptr);
 
 }  // namespace mrlg

@@ -10,11 +10,76 @@
 #include "legalize/minmax_placement.hpp"
 #include "legalize/realization.hpp"
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mrlg {
 
+namespace {
+
+constexpr std::size_t kNoPoint = static_cast<std::size_t>(-1);
+
+/// Chunk-local (and final) state of the parallel candidate scan. Combined
+/// in ascending chunk order with the deterministic tie-break
+/// (cost, point index), which reproduces the serial "first strictly lower
+/// cost wins" rule exactly.
+struct ScanBest {
+    Evaluation eval;
+    std::size_t index = kNoPoint;
+    std::size_t evaluated = 0;  ///< Points actually evaluated (not chunks).
+};
+
+/// Evaluates every enumerated point and returns the best feasible one.
+/// Read-only over `lp`; evaluation order never affects the winner.
+ScanBest scan_insertion_points(const LocalProblem& lp,
+                               const EnumerationResult& enumr,
+                               const TargetSpec& target,
+                               const MllOptions& opts) {
+    const auto map = [&](std::size_t begin, std::size_t end) {
+        // One scratch per worker thread: steady-state evaluation allocates
+        // nothing. Cleared by each evaluate call before use.
+        thread_local EvalScratch scratch;
+        ScanBest best;
+        for (std::size_t i = begin; i < end; ++i) {
+            const InsertionPoint& p = enumr.points[i];
+            const Evaluation ev =
+                opts.exact_evaluation
+                    ? evaluate_insertion_point_exact(lp, p, target, scratch)
+                    : evaluate_insertion_point_approx(lp, p, target,
+                                                      scratch);
+            ++best.evaluated;
+            if (ev.feasible && (best.index == kNoPoint ||
+                                ev.cost_um < best.eval.cost_um)) {
+                best.eval = ev;
+                best.index = i;
+            }
+        }
+        return best;
+    };
+    const auto combine = [](ScanBest acc, ScanBest part) {
+        acc.evaluated += part.evaluated;
+        if (part.index != kNoPoint &&
+            (acc.index == kNoPoint ||
+             part.eval.cost_um < acc.eval.cost_um ||
+             (part.eval.cost_um == acc.eval.cost_um &&
+              part.index < acc.index))) {
+            acc.eval = part.eval;
+            acc.index = part.index;
+        }
+        return acc;
+    };
+    // Fixed grain: chunk boundaries must not depend on the thread count
+    // (see thread_pool.hpp). Exact evaluation is O(|C_W|) per point, so it
+    // amortizes the dispatch overhead at a finer grain.
+    const std::size_t grain = opts.exact_evaluation ? 16 : 128;
+    return parallel_reduce(enumr.points.size(), grain, opts.num_threads,
+                           ScanBest{}, map, combine);
+}
+
+}  // namespace
+
 MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
-                    double pref_x, double pref_y, const MllOptions& opts) {
+                    double pref_x, double pref_y, const MllOptions& opts,
+                    MllScratch* scratch) {
     MllResult res;
     const Cell& cell = db.cell(target_cell);
     MRLG_ASSERT(!cell.placed(), "MLL target must be unplaced");
@@ -37,12 +102,14 @@ MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
                       static_cast<SiteCoord>(2 * opts.rx + target.w),
                       static_cast<SiteCoord>(2 * opts.ry + target.h)};
 
-    const LocalRegion region =
-        extract_local_region(db, grid, window, cell.region());
+    const LocalRegion region = extract_local_region(
+        db, grid, window, cell.region(),
+        scratch != nullptr ? &scratch->region : nullptr);
     if (region.height() == 0) {
         return res;
     }
-    LocalProblem lp = LocalProblem::build(db, region);
+    LocalProblem lp = LocalProblem::build(
+        db, region, scratch != nullptr ? &scratch->problem : nullptr);
     res.num_local_cells = static_cast<std::size_t>(lp.num_cells());
 
     compute_minmax_placement(lp);
@@ -88,26 +155,23 @@ MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
         best_point = &mip_point;
     } else {
         enumr = enumerate_insertion_points(lp, intervals, target, eopts);
-        res.num_points = enumr.points.size();
         res.enumeration_truncated = enumr.truncated;
         if (enumr.points.empty()) {
             res.status = MllStatus::kNoInsertionPoint;
             return res;
         }
-        for (const InsertionPoint& p : enumr.points) {
-            const Evaluation ev =
-                opts.exact_evaluation
-                    ? evaluate_insertion_point_exact(lp, p, target)
-                    : evaluate_insertion_point_approx(lp, p, target);
-            if (ev.feasible && ev.cost_um < best_eval.cost_um) {
-                best_eval = ev;
-                best_point = &p;
-            }
-        }
-        if (best_point == nullptr) {
+        const ScanBest best = scan_insertion_points(lp, enumr, target, opts);
+        // Per-point accounting: sum of points each chunk evaluated, exact
+        // under any chunking (== points.size(); never the chunk count).
+        res.num_points = best.evaluated;
+        MRLG_ASSERT(best.evaluated == enumr.points.size(),
+                    "parallel scan must evaluate every enumerated point");
+        if (best.index == kNoPoint) {
             res.status = MllStatus::kNoInsertionPoint;
             return res;
         }
+        best_eval = best.eval;
+        best_point = &enumr.points[best.index];
     }
 
     const Realization real =

@@ -31,6 +31,20 @@ struct MllOptions {
     /// --true-ilp). Takes precedence over exact_evaluation.
     bool use_mip = false;
     std::size_t max_points = 1u << 20;
+    /// Worker threads for the insertion-point evaluation scan. 0 = the
+    /// MRLG_THREADS environment default (hardware concurrency when unset);
+    /// 1 = serial. Any value yields the bit-identical chosen point: the
+    /// scan merges chunk-local bests with the deterministic tie-break
+    /// (cost, point index) that matches the serial first-strictly-better
+    /// rule.
+    int num_threads = 0;
+};
+
+/// Reusable buffers shared by successive mll_place calls (the legalizer
+/// holds one for its whole run). Optional — pass nullptr for one-off calls.
+struct MllScratch {
+    LocalRegionScratch region;
+    LocalProblemScratch problem;
 };
 
 enum class MllStatus {
@@ -67,6 +81,7 @@ void mll_undo(Database& db, SegmentGrid& grid, CellId target_cell,
 /// failure.
 MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
                     double pref_x, double pref_y,
-                    const MllOptions& opts = {});
+                    const MllOptions& opts = {},
+                    MllScratch* scratch = nullptr);
 
 }  // namespace mrlg

@@ -1,0 +1,207 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace mrlg {
+
+namespace {
+
+/// State of one parallel region. Heap-shared so a worker that wakes late
+/// (after the region completed and a new one started) still operates on
+/// the counters of the region it was dispatched for, never a newer one.
+struct JobState {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t num_chunks = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::vector<std::exception_ptr> errors;  // one slot per chunk
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+};
+
+/// Pulls chunks until the job is exhausted. Safe to call even when the
+/// job is already complete (the fetch_add immediately overflows).
+void drain(JobState& job) {
+    while (true) {
+        const std::size_t c = job.next.fetch_add(1);
+        if (c >= job.num_chunks) {
+            return;
+        }
+        try {
+            (*job.fn)(c);
+        } catch (...) {
+            job.errors[c] = std::current_exception();
+        }
+        if (job.completed.fetch_add(1) + 1 == job.num_chunks) {
+            // Empty critical section pairs with the waiter's predicate
+            // check so the notification cannot be missed.
+            { std::lock_guard<std::mutex> lk(job.done_mutex); }
+            job.done_cv.notify_all();
+        }
+    }
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+    std::mutex mutex;
+    std::condition_variable work_cv;
+    std::vector<std::thread> threads;
+    std::shared_ptr<JobState> current;  // guarded by mutex
+    int open_slots = 0;                 // helpers the current job may claim
+    std::uint64_t generation = 0;
+    bool stop = false;
+
+    void worker_loop() {
+        std::uint64_t seen = 0;
+        while (true) {
+            std::shared_ptr<JobState> job;
+            {
+                std::unique_lock<std::mutex> lk(mutex);
+                work_cv.wait(lk, [&] {
+                    return stop || (current != nullptr && open_slots > 0 &&
+                                    generation != seen);
+                });
+                if (stop) {
+                    return;
+                }
+                seen = generation;
+                --open_slots;
+                job = current;
+            }
+            drain(*job);
+        }
+    }
+};
+
+ThreadPool::ThreadPool(int num_workers) : impl_(new Impl) {
+    const int n = std::max(num_workers, 0);
+    impl_->threads.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lk(impl_->mutex);
+        impl_->stop = true;
+    }
+    impl_->work_cv.notify_all();
+    for (std::thread& t : impl_->threads) {
+        t.join();
+    }
+    delete impl_;
+}
+
+int ThreadPool::num_workers() const {
+    return static_cast<int>(impl_->threads.size());
+}
+
+void ThreadPool::run_chunks(std::size_t num_chunks, int max_threads,
+                            const std::function<void(std::size_t)>& chunk_fn) {
+    if (num_chunks == 0) {
+        return;
+    }
+    const std::size_t max_helpers =
+        static_cast<std::size_t>(std::max(max_threads - 1, 0));
+    const int helpers = static_cast<int>(
+        std::min({max_helpers, static_cast<std::size_t>(num_workers()),
+                  num_chunks - 1}));
+    if (helpers <= 0) {
+        for (std::size_t c = 0; c < num_chunks; ++c) {
+            chunk_fn(c);
+        }
+        return;
+    }
+
+    auto job = std::make_shared<JobState>();
+    job->fn = &chunk_fn;
+    job->num_chunks = num_chunks;
+    job->errors.assign(num_chunks, nullptr);
+    {
+        std::lock_guard<std::mutex> lk(impl_->mutex);
+        impl_->current = job;
+        impl_->open_slots = helpers;
+        ++impl_->generation;
+    }
+    impl_->work_cv.notify_all();
+
+    drain(*job);  // the calling thread participates
+
+    {
+        std::unique_lock<std::mutex> lk(job->done_mutex);
+        job->done_cv.wait(lk, [&] {
+            return job->completed.load() == job->num_chunks;
+        });
+    }
+    {
+        // Retire the job so late wakeups go back to sleep immediately.
+        std::lock_guard<std::mutex> lk(impl_->mutex);
+        if (impl_->current == job) {
+            impl_->current.reset();
+            impl_->open_slots = 0;
+        }
+    }
+    for (std::exception_ptr& e : job->errors) {
+        if (e) {
+            std::rethrow_exception(e);
+        }
+    }
+}
+
+ThreadPool& ThreadPool::global() {
+    static ThreadPool pool([] {
+        const int hw = default_threads();
+        // Enough helpers that an explicit 8-thread request is honored even
+        // on small machines; capped to keep oversubscription bounded.
+        return std::clamp(std::max(hw, 8), 1, 64) - 1;
+    }());
+    return pool;
+}
+
+int ThreadPool::resolve_threads(int requested) {
+    return requested > 0 ? requested : default_threads();
+}
+
+int ThreadPool::default_threads() {
+    if (const char* env = std::getenv("MRLG_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0) {
+            return static_cast<int>(std::min<long>(v, 256));
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallel_for(std::size_t n, std::size_t grain, int num_threads,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+    const std::size_t g = grain == 0 ? 1 : grain;
+    const std::size_t chunks = num_chunks_for(n, g);
+    if (chunks == 0) {
+        return;
+    }
+    const int threads = ThreadPool::resolve_threads(num_threads);
+    if (threads <= 1 || chunks == 1) {
+        for (std::size_t c = 0; c < chunks; ++c) {
+            const std::size_t b = c * g;
+            fn(b, std::min(n, b + g));
+        }
+        return;
+    }
+    ThreadPool::global().run_chunks(chunks, threads, [&](std::size_t c) {
+        const std::size_t b = c * g;
+        fn(b, std::min(n, b + g));
+    });
+}
+
+}  // namespace mrlg

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Builds the parallel-evaluation tests under ThreadSanitizer and runs them
+# with 4 worker threads. Usage: tests/run_tsan.sh [build-dir]
+# Set MRLG_SANITIZE=address instead via: MRLG_SANITIZE=address tests/run_tsan.sh
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+sanitizer=${MRLG_SANITIZE:-thread}
+build_dir=${1:-"$repo_root/build-$sanitizer"}
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMRLG_SANITIZE="$sanitizer"
+cmake --build "$build_dir" -j \
+  --target test_thread_pool test_parallel_determinism
+
+export MRLG_THREADS=4
+"$build_dir/tests/test_thread_pool"
+"$build_dir/tests/test_parallel_determinism"
+echo "${sanitizer} sanitizer run passed"
