@@ -88,6 +88,13 @@ public:
     /// Returns a human-readable error string, or empty when consistent.
     std::string audit(const Database& db) const;
 
+    /// Fault injection for the audit tests ONLY: direct write access to a
+    /// segment's cell list so fixtures can break the invariants the
+    /// auditors must catch. Never call from library code.
+    std::vector<CellId>& mutable_cells_for_test(SegmentId id) {
+        return mutable_segment(id).cells;
+    }
+
 private:
     Segment& mutable_segment(SegmentId id);
 

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <limits>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "dp/net_cache.hpp"
 #include "eval/legality.hpp"
@@ -43,13 +42,14 @@ std::optional<std::pair<double, double>> median_target(const Database& db,
 }
 
 /// Nets whose HPWL a move can change: the target's nets plus the nets of
-/// every shifted cell.
+/// every shifted cell. Sorted: the caller folds float deltas over this
+/// list, so its order must not depend on hash layout.
 std::vector<NetId> affected_nets(const Database& db, CellId target,
                                  const MllResult& r) {
-    std::unordered_set<NetId> seen;
+    std::vector<NetId> nets;
     auto add_cell_nets = [&](CellId c) {
         for (const PinId pid : db.cell(c).pins()) {
-            seen.insert(db.pin(pid).net);
+            nets.push_back(db.pin(pid).net);
         }
     };
     add_cell_nets(target);
@@ -57,7 +57,9 @@ std::vector<NetId> affected_nets(const Database& db, CellId target,
         static_cast<void>(old_x);
         add_cell_nets(id);
     }
-    return {seen.begin(), seen.end()};
+    std::sort(nets.begin(), nets.end());
+    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+    return nets;
 }
 
 }  // namespace
@@ -266,14 +268,17 @@ SwapStats swap_pass(Database& db, SegmentGrid& grid,
             }
             ++stats.swaps_attempted;
             swap_cells(a, best);
-            // Exact delta over both cells' nets.
-            std::unordered_set<NetId> nets;
+            // Exact delta over both cells' nets, in sorted order so the
+            // float fold (and thus the accept decision) is reproducible.
+            std::vector<NetId> nets;
             for (const PinId pid : db.cell(a).pins()) {
-                nets.insert(db.pin(pid).net);
+                nets.push_back(db.pin(pid).net);
             }
             for (const PinId pid : db.cell(best).pins()) {
-                nets.insert(db.pin(pid).net);
+                nets.push_back(db.pin(pid).net);
             }
+            std::sort(nets.begin(), nets.end());
+            nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
             double delta = 0.0;
             for (const NetId n : nets) {
                 delta += cache.net_hpwl(n) - cache.cached(n);

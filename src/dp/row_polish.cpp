@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
-#include <unordered_set>
 
 #include "dp/net_cache.hpp"
 #include "util/assert.hpp"
@@ -177,12 +176,16 @@ RowPolishStats row_polish(Database& db, SegmentGrid& grid,
             if (!any_move) {
                 continue;
             }
-            std::unordered_set<NetId> nets;
+            // Sorted: the float fold below decides accept/reject, so its
+            // order must not depend on hash layout.
+            std::vector<NetId> nets;
             for (const CellId c : seg.cells) {
                 for (const PinId pid : db.cell(c).pins()) {
-                    nets.insert(db.pin(pid).net);
+                    nets.push_back(db.pin(pid).net);
                 }
             }
+            std::sort(nets.begin(), nets.end());
+            nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
             double delta = 0.0;
             for (const NetId n : nets) {
                 delta += cache.net_hpwl(n) - cache.cached(n);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/audit.hpp"
 #include "eval/legality.hpp"
 #include "legalize/greedy.hpp"
 #include "legalize/ripup.hpp"
@@ -66,7 +67,22 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
     if (mll_opts.num_threads == 0) {
         mll_opts.num_threads = opts.num_threads;
     }
+    if (mll_opts.audit < opts.audit) {
+        mll_opts.audit = opts.audit;
+    }
     MllScratch scratch;  // reused by every MLL attempt of this run
+
+    // Invariant-audit hook (MRLG_VALIDATE / LegalizerOptions::audit):
+    // structural grid audit at phase boundaries, and after every commit
+    // at kFull. Failures throw AssertionError out of the legalizer.
+    const AuditLevel audit = opts.audit;
+    auto audit_grid = [&](AuditLevel at_least) {
+        if (audit >= at_least) {
+            ++stats.audits_run;
+            enforce(audit_segment_grid(db, grid, AuditLevel::kCheap,
+                                       mll_opts.check_rail));
+        }
+    };
 
     std::vector<CellId> order = db.movable_cells();
     stats.num_cells = order.size();
@@ -110,6 +126,7 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
             unplaced.push_back(c);
         }
     }
+    audit_grid(AuditLevel::kCheap);  // post-setup pre-condition
 
     auto try_place = [&](CellId c, double px, double py,
                          bool allow_fallback, bool allow_ripup) -> bool {
@@ -122,6 +139,7 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
             grid.placeable(db, fitted, CellId{}, cell.region())) {
             grid.place(db, c, p.x, p.y);
             ++stats.direct_placements;
+            audit_grid(AuditLevel::kFull);
             return true;
         }
         const MllResult r =
@@ -129,6 +147,7 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
         stats.mll_points_evaluated += r.num_points;
         if (r.success()) {
             ++stats.mll_successes;
+            audit_grid(AuditLevel::kFull);  // post-realization/commit
             return true;
         }
         ++stats.mll_failures;
@@ -141,16 +160,19 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
             if (slot) {
                 grid.place(db, c, slot->x, slot->y);
                 ++stats.fallback_placements;
+                audit_grid(AuditLevel::kFull);
                 return true;
             }
         }
         if (allow_ripup) {
             RipupOptions ropts;
             ropts.mll = mll_opts;
+            ropts.audit = audit;
             const RipupResult rr = ripup_place(db, grid, c, cell.gp_x(),
                                                cell.gp_y(), ropts);
             if (rr.success) {
                 ++stats.ripup_placements;
+                audit_grid(AuditLevel::kFull);  // post-transaction
                 return true;
             }
         }
@@ -183,6 +205,14 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
             }
         }
         unplaced = std::move(still_unplaced);
+        audit_grid(AuditLevel::kCheap);  // post-round invariants
+    }
+
+    if (audit >= AuditLevel::kCheap) {
+        // Final audit at the configured depth: kFull adds the independent
+        // eval/legality overlap sweep and the blockage intrusion check.
+        ++stats.audits_run;
+        enforce(audit_placement(db, grid, audit, mll_opts.check_rail));
     }
 
     stats.unplaced = unplaced.size();

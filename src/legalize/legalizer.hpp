@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "check/audit.hpp"
 #include "db/database.hpp"
 #include "db/segment.hpp"
 #include "legalize/mll.hpp"
@@ -52,6 +53,15 @@ struct LegalizerOptions {
     /// environment default. Results are bit-identical for any value (see
     /// thread_pool.hpp's determinism contract).
     int num_threads = 0;
+    /// Invariant-audit level for the run; defaults to the MRLG_VALIDATE
+    /// environment level (off when unset, so production runs pay nothing).
+    /// kCheap audits the database and segment grid after setup, after
+    /// every retry round, and once more at the end. kFull additionally
+    /// audits after every committed placement and every rip-up
+    /// transaction, checks each MLL extraction/packing (see MllOptions),
+    /// and cross-checks the final state with the independent
+    /// eval/legality sweep. Violations throw AssertionError.
+    AuditLevel audit = audit_level_from_env();
 };
 
 struct LegalizerStats {
@@ -66,6 +76,9 @@ struct LegalizerStats {
     /// Insertion points evaluated across all direct MLL attempts (the
     /// parallel scan's per-point count, summed; rip-up internals excluded).
     std::size_t mll_points_evaluated = 0;
+    /// Invariant audits executed by this run's hooks (0 when auditing is
+    /// off); lets callers and tests confirm the hooks actually fired.
+    std::size_t audits_run = 0;
     int rounds = 0;
     double runtime_s = 0.0;
 };

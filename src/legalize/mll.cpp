@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "check/audit_local.hpp"
 #include "legalize/evaluation.hpp"
 #include "legalize/ilp_local.hpp"
 #include "legalize/insertion_interval.hpp"
@@ -108,11 +109,17 @@ MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
     if (region.height() == 0) {
         return res;
     }
+    if (opts.audit >= AuditLevel::kFull) {
+        enforce(audit_local_region(db, grid, region, cell.region()));
+    }
     LocalProblem lp = LocalProblem::build(
         db, region, scratch != nullptr ? &scratch->problem : nullptr);
     res.num_local_cells = static_cast<std::size_t>(lp.num_cells());
 
     compute_minmax_placement(lp);
+    if (opts.audit >= AuditLevel::kFull) {
+        enforce(audit_local_problem(lp, /*minmax_filled=*/true));
+    }
     const std::vector<InsertionInterval> intervals =
         build_insertion_intervals(lp, target.w);
 

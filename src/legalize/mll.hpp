@@ -9,6 +9,7 @@
 /// the best point → commit to the database/segment grid.
 /// On failure nothing is modified (the paper's abort semantics).
 
+#include "check/audit.hpp"
 #include "db/database.hpp"
 #include "db/segment.hpp"
 #include "legalize/enumeration.hpp"
@@ -31,6 +32,13 @@ struct MllOptions {
     /// --true-ilp). Takes precedence over exact_evaluation.
     bool use_mip = false;
     std::size_t max_points = 1u << 20;
+    /// Invariant-audit level for this attempt. At kFull every extraction
+    /// is checked against the §2.1.3 post-conditions and every min/max
+    /// packing against the §5.1.1 bounds (audit_local.hpp) before the
+    /// result is trusted; violations throw AssertionError. kOff/kCheap
+    /// skip the per-attempt audits (the legalizer still audits the grid
+    /// at phase boundaries).
+    AuditLevel audit = AuditLevel::kOff;
     /// Worker threads for the insertion-point evaluation scan. 0 = the
     /// MRLG_THREADS environment default (hardware concurrency when unset);
     /// 1 = serial. Any value yields the bit-identical chosen point: the

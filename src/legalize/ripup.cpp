@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/audit.hpp"
 #include "eval/legality.hpp"
 #include "util/assert.hpp"
 
@@ -165,7 +166,15 @@ RipupResult ripup_place(Database& db, SegmentGrid& grid, CellId target,
             }
             if (!all_back) {
                 rollback(db, grid, steps);
+                if (opts.audit >= AuditLevel::kFull) {
+                    enforce(audit_segment_grid(db, grid, AuditLevel::kCheap,
+                                               opts.mll.check_rail));
+                }
                 continue;
+            }
+            if (opts.audit >= AuditLevel::kFull) {
+                enforce(audit_segment_grid(db, grid, AuditLevel::kCheap,
+                                           opts.mll.check_rail));
             }
             res.success = true;
             res.x = x;

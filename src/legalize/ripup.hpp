@@ -25,6 +25,11 @@ struct RipupOptions {
     int max_candidates = 24;
     /// Refuse to evict more than this many cells per candidate.
     std::size_t max_evictions = 8;
+    /// Invariant-audit level. At kFull the segment grid is audited after
+    /// every committed transaction and after every rollback (the
+    /// transaction promises bit-for-bit restoration; the audit verifies
+    /// the grid is at least structurally intact). See check/audit.hpp.
+    AuditLevel audit = AuditLevel::kOff;
 };
 
 struct RipupResult {

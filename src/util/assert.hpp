@@ -38,11 +38,15 @@ namespace detail {
     } while (false)
 
 /// Heavier internal-consistency check, compiled out in release builds
-/// unless MRLG_ENABLE_DCHECK is defined.
+/// unless MRLG_ENABLE_DCHECK is defined (cmake -DMRLG_DCHECKS=ON).
+/// The no-op branch keeps expr and msg inside an unevaluated sizeof so
+/// both still parse and name-resolve — a DCHECK cannot rot in release.
 #if defined(MRLG_ENABLE_DCHECK) || !defined(NDEBUG)
 #define MRLG_DCHECK(expr, msg) MRLG_ASSERT(expr, msg)
 #else
-#define MRLG_DCHECK(expr, msg) \
-    do {                       \
+#define MRLG_DCHECK(expr, msg)                                              \
+    do {                                                                    \
+        static_cast<void>(sizeof((expr) ? 1 : 0));                          \
+        static_cast<void>(sizeof(msg));                                     \
     } while (false)
 #endif

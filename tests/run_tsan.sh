@@ -1,20 +1,26 @@
 #!/usr/bin/env sh
-# Builds the parallel-evaluation tests under ThreadSanitizer and runs them
-# with 4 worker threads. Usage: tests/run_tsan.sh [build-dir]
-# Set MRLG_SANITIZE=address instead via: MRLG_SANITIZE=address tests/run_tsan.sh
+# Builds the whole library and test suite under a sanitizer and runs the
+# full ctest suite with 4 worker threads.
+#
+# Usage: tests/run_tsan.sh [build-dir]
+#   MRLG_SANITIZE selects the sanitizer(s); default "thread". Commas are
+#   allowed ("address,undefined") and map to a comma-free build dir name.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 sanitizer=${MRLG_SANITIZE:-thread}
-build_dir=${1:-"$repo_root/build-$sanitizer"}
+suffix=$(printf '%s' "$sanitizer" | tr ',' '-')
+build_dir=${1:-"$repo_root/build-$suffix"}
 
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DMRLG_SANITIZE="$sanitizer"
-cmake --build "$build_dir" -j \
-  --target test_thread_pool test_parallel_determinism
+  -DMRLG_SANITIZE="$sanitizer" \
+  -DMRLG_DCHECKS=ON
+cmake --build "$build_dir" -j
 
+# 4 workers exercises the deterministic thread pool's synchronisation;
+# the audit layer runs too so data races in the auditors also surface.
 export MRLG_THREADS=4
-"$build_dir/tests/test_thread_pool"
-"$build_dir/tests/test_parallel_determinism"
-echo "${sanitizer} sanitizer run passed"
+export MRLG_VALIDATE=cheap
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+echo "${sanitizer} sanitizer run passed (full suite)"

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# mrlg CI pipeline: one entry point for every check this repo ships.
+#
+#   1. Release build + full ctest suite
+#   2. Determinism lint (tools/lint_determinism.py)
+#   3. clang-tidy over all translation units (MRLG_ANALYZE build)
+#   4. cppcheck over src/ and tools/
+#   5. ASan+UBSan build + full ctest suite (DCHECKs on)
+#   6. End-to-end invariant audit: mrlg_audit --gen --legalize at
+#      MRLG_VALIDATE=full must report zero audit failures
+#
+# Stages whose tools are not installed are SKIPped with a reason, not
+# failed: the container bakes in gcc/cmake/python3 but clang-tidy and
+# cppcheck are optional. Any stage that runs and fails fails the script.
+#
+# Usage: tools/ci.sh [--fast]
+#   --fast   skip the sanitizer rebuild (stage 5); everything else runs.
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+    case "$arg" in
+    --fast) FAST=1 ;;
+    *)
+        echo "usage: tools/ci.sh [--fast]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+FAILURES=0
+SKIPS=0
+
+banner() { printf '\n=== %s ===\n' "$1"; }
+
+run_stage() {
+    # run_stage <name> <cmd...>: runs the command, records pass/fail.
+    local name=$1
+    shift
+    banner "$name"
+    if "$@"; then
+        echo "--- $name: OK"
+    else
+        echo "--- $name: FAIL" >&2
+        FAILURES=$((FAILURES + 1))
+    fi
+}
+
+skip_stage() {
+    banner "$1"
+    echo "--- $1: SKIP ($2)"
+    SKIPS=$((SKIPS + 1))
+}
+
+# ---------------------------------------------------------------- stage 1
+build_and_test() {
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null &&
+        cmake --build build -j "$JOBS" &&
+        ctest --test-dir build --output-on-failure -j "$JOBS"
+}
+run_stage "build + ctest (Release)" build_and_test
+
+# ---------------------------------------------------------------- stage 2
+run_stage "determinism lint" python3 tools/lint_determinism.py src
+
+# ---------------------------------------------------------------- stage 3
+if command -v clang-tidy >/dev/null 2>&1; then
+    tidy_stage() {
+        cmake -B build-analyze -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+            -DMRLG_ANALYZE=ON -DMRLG_WERROR=ON >/dev/null &&
+            cmake --build build-analyze -j "$JOBS"
+    }
+    run_stage "clang-tidy (MRLG_ANALYZE build)" tidy_stage
+else
+    skip_stage "clang-tidy (MRLG_ANALYZE build)" "clang-tidy not installed"
+fi
+
+# ---------------------------------------------------------------- stage 4
+if command -v cppcheck >/dev/null 2>&1; then
+    cppcheck_stage() {
+        cppcheck --enable=warning,performance,portability \
+            --inline-suppr --error-exitcode=1 \
+            --suppress=missingIncludeSystem \
+            -I src src tools
+    }
+    run_stage "cppcheck" cppcheck_stage
+else
+    skip_stage "cppcheck" "cppcheck not installed"
+fi
+
+# ---------------------------------------------------------------- stage 5
+if [ "$FAST" = 1 ]; then
+    skip_stage "ASan+UBSan ctest" "--fast"
+else
+    asan_stage() {
+        cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+            -DMRLG_SANITIZE=address,undefined -DMRLG_DCHECKS=ON \
+            >/dev/null &&
+            cmake --build build-asan -j "$JOBS" &&
+            ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+    }
+    run_stage "ASan+UBSan ctest" asan_stage
+fi
+
+# ---------------------------------------------------------------- stage 6
+audit_stage() {
+    MRLG_VALIDATE=full ./build/tools/mrlg_audit --gen --singles 800 \
+        --doubles 120 --seed 7 --legalize --level full
+}
+run_stage "end-to-end invariant audit (MRLG_VALIDATE=full)" audit_stage
+
+# ------------------------------------------------------------------ report
+banner "summary"
+echo "failures: $FAILURES   skipped: $SKIPS"
+if [ "$FAILURES" -gt 0 ]; then
+    exit 1
+fi
+exit 0
