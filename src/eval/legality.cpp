@@ -171,11 +171,16 @@ LegalityReport check_legality(const Database& db, const SegmentGrid& grid,
 
     // Phase 2 — constraint 1: per-row sweep, parallel over fixed row
     // chunks (rows are disjoint, so sorting in place is race-free).
-    // Within a row, sorted slices must not overlap. Cross-row overlap of
-    // multi-row cells is covered because a multi-row cell contributes a
-    // slice to every row it crosses.
+    // Within a row, sorted slices must not overlap. The sweep carries the
+    // running maximum right edge (and its owning cell), not just the
+    // previous slice: a wide cell can fully cover several later, disjoint
+    // slices, and comparing adjacent slices only would miss every covered
+    // slice after the first. Cross-row overlap of multi-row cells is
+    // covered because a multi-row cell contributes a slice to every row it
+    // crosses.
     struct RowChunk {
         std::vector<Violation> violations;
+        std::vector<std::pair<CellId, CellId>> pairs;
     };
     constexpr std::size_t kRowGrain = 16;
     const auto row_map = [&](std::size_t begin, std::size_t end) {
@@ -186,11 +191,35 @@ LegalityReport check_legality(const Database& db, const SegmentGrid& grid,
                       [](const Slice& a, const Slice& b) {
                           return a.x < b.x || (a.x == b.x && a.cell < b.cell);
                       });
+            if (row.empty()) {
+                continue;
+            }
+            SiteCoord run_hi = row[0].x_hi;
+            CellId run_cell = row[0].cell;
             for (std::size_t i = 1; i < row.size(); ++i) {
-                if (row[i].x < row[i - 1].x_hi) {
-                    out.violations.push_back({Violation::Kind::kOverlap,
-                                              row[i - 1].cell,
-                                              row[i].cell});
+                if (row[i].x < run_hi) {
+                    out.violations.push_back(
+                        {Violation::Kind::kOverlap, run_cell, row[i].cell});
+                }
+                if (row[i].x_hi > run_hi) {
+                    run_hi = row[i].x_hi;
+                    run_cell = row[i].cell;
+                }
+            }
+            if (opts.collect_overlap_pairs) {
+                // Complete pair enumeration needs more than the running
+                // max: under a covering cell, two covered slices may also
+                // overlap each other. Output-sensitive active-interval
+                // scan: every slice still open at x overlaps the new one.
+                std::vector<Slice> active;
+                for (const Slice& s : row) {
+                    std::erase_if(active, [&](const Slice& a) {
+                        return a.x_hi <= s.x;
+                    });
+                    for (const Slice& a : active) {
+                        out.pairs.emplace_back(a.cell, s.cell);
+                    }
+                    active.push_back(s);
                 }
             }
         }
@@ -199,14 +228,17 @@ LegalityReport check_legality(const Database& db, const SegmentGrid& grid,
     const auto row_combine = [&](RowChunk acc, RowChunk part) {
         acc.violations.insert(acc.violations.end(), part.violations.begin(),
                               part.violations.end());
+        acc.pairs.insert(acc.pairs.end(), part.pairs.begin(),
+                         part.pairs.end());
         return acc;
     };
-    const RowChunk row_result =
+    RowChunk row_result =
         parallel_reduce(per_row.size(), kRowGrain, opts.num_threads,
                         RowChunk{}, row_map, row_combine);
     for (const Violation& v : row_result.violations) {
         note(v);
     }
+    rep.overlap_pairs = std::move(row_result.pairs);
 
     return rep;
 }

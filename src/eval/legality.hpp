@@ -25,6 +25,11 @@ struct LegalityOptions {
     bool require_all_placed = true;
     /// Stop collecting messages after this many violations.
     std::size_t max_messages = 32;
+    /// Record every overlapping cell pair in LegalityReport::overlap_pairs
+    /// (uncapped, complete per-row pair enumeration). Off by default —
+    /// used by the qa/ differential oracle to compare the sweep against an
+    /// independent O(n²) reference.
+    bool collect_overlap_pairs = false;
     /// Worker threads for the per-cell checks and the per-row overlap
     /// sweep. 0 = MRLG_THREADS environment default, 1 = serial. Violations
     /// are gathered per fixed chunk and merged in chunk order, so counters
@@ -39,6 +44,11 @@ struct LegalityReport {
     std::size_t num_rail_violations = 0;
     std::size_t num_unplaced = 0;
     std::vector<std::string> messages;
+    /// All overlapping pairs, (earlier-starting cell, later cell), when
+    /// LegalityOptions::collect_overlap_pairs is set — complete within each
+    /// row (not just covering/covered attribution); a pair overlapping in
+    /// h common rows appears h times. Deterministic order.
+    std::vector<std::pair<CellId, CellId>> overlap_pairs;
 
     explicit operator bool() const { return legal; }
 };

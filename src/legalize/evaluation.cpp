@@ -159,19 +159,34 @@ Evaluation evaluate_insertion_point_approx(const LocalProblem& lp,
     hinges.b.clear();
     hinges.pref = target.pref_x;
     const int ht = static_cast<int>(point.gaps.size());
+    // One hinge per neighbouring CELL, not per combination row: a
+    // multi-row neighbour adjacent to the target in several rows still
+    // moves only once, so per-row hinges would double-count its
+    // displacement (and the estimate would stop being a lower bound on
+    // the realized cost). ht is tiny; linear membership checks suffice.
+    std::vector<int> seen_left;
+    std::vector<int> seen_right;
     for (int j = 0; j < ht; ++j) {
         const int k = point.k0 + j;
         const LpRow& row = lp.row(k);
         const int gap = point.gaps[static_cast<std::size_t>(j)];
         if (gap > 0) {
-            const LpCell& left =
-                lp.cell(row.cells[static_cast<std::size_t>(gap - 1)]);
-            hinges.a.push_back(left.x + left.w);
+            const int li = row.cells[static_cast<std::size_t>(gap - 1)];
+            if (std::find(seen_left.begin(), seen_left.end(), li) ==
+                seen_left.end()) {
+                seen_left.push_back(li);
+                const LpCell& left = lp.cell(li);
+                hinges.a.push_back(left.x + left.w);
+            }
         }
         if (gap < static_cast<int>(row.cells.size())) {
-            const LpCell& right =
-                lp.cell(row.cells[static_cast<std::size_t>(gap)]);
-            hinges.b.push_back(right.x - target.w);
+            const int ri = row.cells[static_cast<std::size_t>(gap)];
+            if (std::find(seen_right.begin(), seen_right.end(), ri) ==
+                seen_right.end()) {
+                seen_right.push_back(ri);
+                const LpCell& right = lp.cell(ri);
+                hinges.b.push_back(right.x - target.w);
+            }
         }
     }
     const auto [xt, cost_sites] =

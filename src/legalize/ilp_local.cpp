@@ -38,8 +38,11 @@ std::optional<BaseRowSolution> solve_for_base_row(
             lo = std::max(lo, row.span.lo);
             hi = std::min(hi, static_cast<SiteCoord>(row.span.hi - c.w));
         }
+        // Positions are integer site coordinates (§2); leaving them
+        // continuous lets the MIP beat the site-aligned optimum whenever
+        // the preferred position is fractional.
         xv[static_cast<std::size_t>(i)] =
-            m.add_var(lo, hi, 0.0, false, "x" + std::to_string(i));
+            m.add_var(lo, hi, 0.0, true, "x" + std::to_string(i));
         dv[static_cast<std::size_t>(i)] =
             m.add_var(0.0, 1e9, 1.0, false, "d" + std::to_string(i));
         big_m = std::max(big_m, static_cast<double>(hi - lo) +
@@ -57,7 +60,7 @@ std::optional<BaseRowSolution> solve_for_base_row(
     if (tlo > thi) {
         return std::nullopt;
     }
-    const int xt = m.add_var(tlo, thi, 0.0, false, "xt");
+    const int xt = m.add_var(tlo, thi, 0.0, true, "xt");
     const int dt = m.add_var(0.0, 1e9, 1.0, false, "dt");
     big_m = std::max(big_m, static_cast<double>(thi - tlo) +
                                 static_cast<double>(target.w));

@@ -37,4 +37,27 @@ std::vector<InsertionInterval> build_insertion_intervals(
     return out;
 }
 
+bool bind_point_to_intervals(const std::vector<InsertionInterval>& intervals,
+                             int k0, const std::vector<int>& gaps,
+                             SiteCoord& lo, SiteCoord& hi) {
+    lo = kSiteCoordMin;
+    hi = kSiteCoordMax;
+    std::vector<bool> matched(gaps.size(), false);
+    for (const InsertionInterval& iv : intervals) {
+        const int j = iv.k - k0;
+        if (j >= 0 && j < static_cast<int>(gaps.size()) &&
+            iv.gap == gaps[static_cast<std::size_t>(j)]) {
+            matched[static_cast<std::size_t>(j)] = true;
+            lo = std::max(lo, iv.lo);
+            hi = std::min(hi, iv.hi);
+        }
+    }
+    for (const bool m : matched) {
+        if (!m) {
+            return false;
+        }
+    }
+    return !gaps.empty();
+}
+
 }  // namespace mrlg

@@ -39,4 +39,15 @@ struct InsertionInterval {
 std::vector<InsertionInterval> build_insertion_intervals(
     const LocalProblem& lp, SiteCoord target_w);
 
+/// Intersects the per-row feasible x ranges of the intervals matching the
+/// chosen gaps (row k0+j must have an interval with gap == gaps[j]) into
+/// [lo, hi]. Returns false — leaving [lo, hi] only partially tightened —
+/// when some row has no matching interval (or `gaps` is empty): such a
+/// combination was discarded during interval construction and must not be
+/// realized. Callers (the MIP decode path) treat false as a hard error
+/// rather than silently keeping the kSiteCoordMin/Max sentinels.
+bool bind_point_to_intervals(const std::vector<InsertionInterval>& intervals,
+                             int k0, const std::vector<int>& gaps,
+                             SiteCoord& lo, SiteCoord& hi);
+
 }  // namespace mrlg

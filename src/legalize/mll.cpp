@@ -145,16 +145,14 @@ MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
         mip_point.k0 = mip.base_row_k;
         mip_point.gaps = mip.gaps;
         // Feasible x range from the per-row intervals of the chosen gaps.
-        mip_point.lo = kSiteCoordMin;
-        mip_point.hi = kSiteCoordMax;
-        for (const InsertionInterval& iv : intervals) {
-            const int j = iv.k - mip_point.k0;
-            if (j >= 0 && j < static_cast<int>(mip_point.gaps.size()) &&
-                iv.gap == mip_point.gaps[static_cast<std::size_t>(j)]) {
-                mip_point.lo = std::max(mip_point.lo, iv.lo);
-                mip_point.hi = std::min(mip_point.hi, iv.hi);
-            }
-        }
+        // Every row of the chosen combination must match an interval: a row
+        // without one means the MIP picked a gap that interval construction
+        // discarded, and the lo/hi sentinels would otherwise pass the
+        // lo <= hi check and let an unconstrained x slip through.
+        MRLG_ASSERT(bind_point_to_intervals(intervals, mip_point.k0,
+                                            mip_point.gaps, mip_point.lo,
+                                            mip_point.hi),
+                    "MIP solution row has no matching insertion interval");
         MRLG_ASSERT(mip_point.lo <= mip_point.hi,
                     "MIP solution has no matching interval range");
         best_eval = evaluate_insertion_point_exact(lp, mip_point, target);

@@ -116,12 +116,18 @@ RipupResult ripup_place(Database& db, SegmentGrid& grid, CellId target,
                     }
                 }
             }
-            if (!viable || victims.size() > opts.max_evictions) {
+            if (!viable) {
                 continue;
             }
+            // Dedup before applying the eviction cap: a victim collected
+            // once per overlapped (row, segment) slot must count once, or
+            // viable candidates get rejected by inflated raw counts.
             std::sort(victims.begin(), victims.end());
             victims.erase(std::unique(victims.begin(), victims.end()),
                           victims.end());
+            if (victims.size() > opts.max_evictions) {
+                continue;
+            }
 
             // --- transaction -------------------------------------------------
             std::vector<Step> steps;

@@ -1,0 +1,73 @@
+#pragma once
+/// \file generators.hpp
+/// Seeded case generators for the differential fuzz harness.
+///
+/// A "case" is a plain Database that encodes everything an oracle needs:
+///   * placed cells carry their position AND an integral gp mirror of it;
+///   * target cells (the ones an MLL/rip-up oracle will try to insert) are
+///     unplaced and carry a deliberately non-integral gp position.
+/// That convention survives a Bookshelf round-trip (positions ride in the
+/// .pl file as gp), so a dumped repro replays exactly like the in-memory
+/// case — see materialize_case / fuzz.hpp.
+///
+/// Beyond uniform-random cases the generators produce the adversarial
+/// structure the paper's stack is most likely to get wrong: nested and
+/// exactly-abutting cells (strict-inequality bugs), blockage-fractured
+/// segments, parity-hostile even-height mixes, and fence regions.
+
+#include <cstdint>
+
+#include "db/database.hpp"
+#include "db/segment.hpp"
+#include "util/rng.hpp"
+
+namespace mrlg::qa {
+
+/// Scenario catalogue — which oracle battery a case feeds.
+enum class FuzzScenario {
+    kLegality,      ///< Overlapping placement; sweep vs naive checker.
+    kLocal,         ///< Legal placement + targets; solver cross-checks.
+    kMllRoundtrip,  ///< Legal placement + targets; place/undo snapshots.
+    kRipup,         ///< Saturated placement + targets; rollback snapshots.
+    kWholeDesign,   ///< benchmark_gen design; legalize end-to-end.
+};
+
+const char* to_string(FuzzScenario s);
+
+/// Parses a scenario name ("legality", "local", "mll", "ripup", "design");
+/// returns false on an unknown name.
+bool scenario_from_string(const std::string& name, FuzzScenario& out);
+
+/// Random die + cells placed at random *contained* positions with no
+/// overlap avoidance (grid placement when contained, raw position when a
+/// sub-case wants out-of-rows violations). Sub-cases roll nested/abutting
+/// clusters, blockages, fences and rail-hostile mixes. For kLegality.
+Database gen_overlapping_case(Rng& rng);
+
+/// Random legal packed design (greedy-legalized) plus `num_targets`
+/// unplaced target cells with fractional gp. For kLocal / kMllRoundtrip.
+/// Sub-cases roll blockage fracturing and parity-hostile height mixes.
+Database gen_packed_case(Rng& rng, int num_targets);
+
+/// Near-saturated design (high density) plus multi-row targets that
+/// usually need evictions — and often cannot complete, exercising the
+/// rollback path. For kRipup.
+Database gen_saturated_case(Rng& rng, int num_targets);
+
+/// Whole-design case via io/benchmark_gen with randomized adversarial
+/// profile (tall cells, blockages, fences, parity-hostile noise). All
+/// movables unplaced; the oracle legalizes end-to-end. For kWholeDesign.
+Database gen_whole_design_case(Rng& rng);
+
+/// Re-derives grid state from the case encoding: unplaces every movable,
+/// then places those whose gp is integral (the "placed" convention above)
+/// through the grid when contained, or by raw position when not (keeping
+/// deliberate out-of-rows violations representable). Returns the freshly
+/// built grid.
+SegmentGrid materialize_case(Database& db);
+
+/// True when `db` uses features a Bookshelf dump cannot represent (fence
+/// regions); such repros replay only approximately and are flagged.
+bool case_uses_fences(const Database& db);
+
+}  // namespace mrlg::qa

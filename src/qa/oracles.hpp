@@ -1,0 +1,110 @@
+#pragma once
+/// \file oracles.hpp
+/// Differential oracles: independent implementations answering the same
+/// question are run against each other, and any disagreement is a bug in
+/// one of them — no hand-written expected value required. The oracle
+/// matrix (see DESIGN.md "QA subsystem"):
+///
+///   check_legality        vs  naive O(n²) re-derivation from first
+///                             principles (floorplan rows, blockages,
+///                             fences — never the segment grid);
+///   approx MLL evaluation vs  exact evaluation vs solve_local_exact vs
+///                             the solve_local_ilp MIP (same feasibility,
+///                             exact == ILP cost, approx within its proven
+///                             lower-bound relation, identical winner
+///                             under the deterministic tie-break);
+///   scanline enumeration  vs  the naive exponential enumeration (small
+///                             problems only);
+///   mll_place + mll_undo  vs  a full before snapshot (byte-identical
+///                             restore);
+///   ripup_place rollback  vs  a full before snapshot.
+///
+/// Every diff_* function returns "" when the implementations agree and a
+/// human-readable mismatch description otherwise. All are deterministic:
+/// same inputs, same string, at any thread count.
+
+#include <string>
+#include <vector>
+
+#include "db/database.hpp"
+#include "db/segment.hpp"
+#include "eval/legality.hpp"
+#include "legalize/mll.hpp"
+#include "legalize/ripup.hpp"
+#include "legalize/target.hpp"
+
+namespace mrlg::qa {
+
+/// Reference legality result, re-derived O(n²) from the floorplan alone.
+struct NaiveLegality {
+    bool legal = true;
+    /// Canonical overlapping pairs: (smaller id, larger id), sorted,
+    /// deduplicated (one entry per pair regardless of shared row count).
+    std::vector<std::pair<CellId, CellId>> overlap_pairs;
+    std::size_t num_out_of_rows = 0;
+    std::size_t num_rail_violations = 0;
+    std::size_t num_unplaced = 0;
+};
+
+/// O(n²) reference oracle. Honors require_all_placed /
+/// check_rail_alignment from `opts`; ignores the sweep-only knobs.
+/// Intentionally never consults the SegmentGrid: rows, blockages and
+/// fences are read straight off the Floorplan so grid bookkeeping bugs
+/// cannot leak into the reference.
+NaiveLegality naive_check_legality(const Database& db,
+                                   const LegalityOptions& opts = {});
+
+/// check_legality (per-row sweep over the grid's view) vs the naive
+/// reference: same verdict, same violation counts per category, same
+/// canonical overlap pair set.
+std::string diff_legality(const Database& db, const SegmentGrid& grid,
+                          const LegalityOptions& opts = {});
+
+/// Knobs for the local-problem cross-check.
+struct LocalDiffOptions {
+    bool check_rail = true;
+    /// Run the MIP cross-check when the problem is small enough.
+    bool run_ilp = true;
+    /// Problem-size gates: the ILP and the naive exponential enumeration
+    /// are only consulted below these bounds.
+    int max_ilp_cells = 8;
+    std::size_t max_ilp_points = 64;
+    int max_naive_cells = 10;
+    double eps_um = 1e-6;
+};
+
+/// Cross-checks every independent local-problem solver on the window
+/// around (pref_x, pref_y) for inserting `target` (an unplaced movable
+/// cell): approx vs exact evaluation, scanline vs naive enumeration,
+/// solve_local_exact vs solve_local_ilp, evaluation estimates vs realized
+/// displacement. Read-only: the database is never modified.
+std::string diff_local_solvers(const Database& db, const SegmentGrid& grid,
+                               CellId target, double pref_x, double pref_y,
+                               const Rect& window,
+                               const LocalDiffOptions& opts = {});
+
+/// mll_place then (on success) mll_undo must restore the database and the
+/// segment grid byte-identically; a failed mll_place must not have touched
+/// anything. On success also audits the committed state (grid bookkeeping
+/// + full legality) and checks the est/real cost relation: est == real for
+/// exact evaluation, est <= real for the §5.2 neighbour approximation.
+/// Leaves the design exactly as found (commit is always undone).
+std::string diff_mll_roundtrip(Database& db, SegmentGrid& grid,
+                               CellId target, double pref_x, double pref_y,
+                               const MllOptions& opts = {});
+
+/// ripup_place: a failed transaction must restore the state
+/// byte-identically (including gp-driven victim re-insertion positions); a
+/// successful one must leave a legal, audit-clean placement with no more
+/// than max_evictions victims. On success the placement legitimately
+/// changes and stays committed.
+std::string diff_ripup_rollback(Database& db, SegmentGrid& grid,
+                                CellId target, double pref_x, double pref_y,
+                                const RipupOptions& opts = {});
+
+/// Canonicalizes a pair list to (min,max), sorted, unique — shared by the
+/// legality diff and its tests.
+std::vector<std::pair<CellId, CellId>> canonical_pairs(
+    std::vector<std::pair<CellId, CellId>> pairs);
+
+}  // namespace mrlg::qa

@@ -1,0 +1,79 @@
+#include "qa/snapshot.hpp"
+
+#include <sstream>
+
+namespace mrlg::qa {
+
+PlacementSnapshot capture_snapshot(const Database& db,
+                                   const SegmentGrid& grid) {
+    PlacementSnapshot snap;
+    snap.cells.reserve(db.num_cells());
+    for (const Cell& c : db.cells()) {
+        // x/y/orient are documented as meaningless while unplaced — a
+        // transaction that parks stale coordinates there is not a leak.
+        snap.cells.push_back(PlacementSnapshot::CellState{
+            c.placed(), c.placed() ? c.x() : 0, c.placed() ? c.y() : 0,
+            c.placed() ? c.orient() : Orient::kN, c.gp_x(), c.gp_y()});
+    }
+    snap.segment_cells.reserve(grid.num_segments());
+    for (const Segment& s : grid.segments()) {
+        snap.segment_cells.push_back(s.cells);
+    }
+    return snap;
+}
+
+std::string describe_snapshot_diff(const PlacementSnapshot& before,
+                                   const PlacementSnapshot& after,
+                                   const Database& db) {
+    if (before == after) {
+        return {};
+    }
+    std::ostringstream os;
+    constexpr std::size_t kMaxReported = 4;
+    std::size_t reported = 0;
+
+    if (before.cells.size() != after.cells.size()) {
+        os << "cell count changed " << before.cells.size() << " -> "
+           << after.cells.size() << "; ";
+    }
+    const std::size_t n = std::min(before.cells.size(), after.cells.size());
+    for (std::size_t i = 0; i < n && reported < kMaxReported; ++i) {
+        const auto& b = before.cells[i];
+        const auto& a = after.cells[i];
+        if (b == a) {
+            continue;
+        }
+        ++reported;
+        os << "cell " << db.cell(CellId{static_cast<CellId::underlying>(i)})
+                  .name()
+           << ": ";
+        if (b.placed != a.placed) {
+            os << (a.placed ? "became placed" : "became unplaced");
+        } else {
+            os << "(" << b.x << "," << b.y << ") -> (" << a.x << "," << a.y
+               << ")";
+        }
+        if (b.gp_x != a.gp_x || b.gp_y != a.gp_y) {
+            os << " [gp moved]";
+        }
+        os << "; ";
+    }
+
+    if (before.segment_cells.size() != after.segment_cells.size()) {
+        os << "segment count changed " << before.segment_cells.size()
+           << " -> " << after.segment_cells.size() << "; ";
+    }
+    const std::size_t m =
+        std::min(before.segment_cells.size(), after.segment_cells.size());
+    for (std::size_t s = 0; s < m; ++s) {
+        if (before.segment_cells[s] != after.segment_cells[s]) {
+            os << "segment " << s << " list changed ("
+               << before.segment_cells[s].size() << " -> "
+               << after.segment_cells[s].size() << " cells)";
+            break;
+        }
+    }
+    return os.str();
+}
+
+}  // namespace mrlg::qa

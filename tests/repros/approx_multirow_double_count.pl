@@ -1,0 +1,4 @@
+UCLA pl 1.0
+p34 11.4 1.71 : N
+t0 11.3268 2.405 : N
+mrlgblk0 8.4 3.42 : N /FIXED

@@ -1,0 +1,4 @@
+UCLA pl 1.0
+wide 0 0 : N
+b 0.4 0 : N
+c 1.2 0 : N

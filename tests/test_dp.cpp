@@ -112,10 +112,11 @@ TEST(DetailedPlacer, RelaxedRailRecoversMore) {
 TEST(DetailedPlacer, ConvergesWithinPassLimit) {
     DpFixture f = legalized_design(31, 400, 0.4);
     DetailedPlacementOptions opts;
-    opts.max_passes = 10;
+    opts.max_passes = 20;
     const DetailedPlacementStats stats = detailed_place(f.db, f.grid, opts);
-    // Accept-if-improves converges long before 10 passes on 400 cells.
-    EXPECT_LT(stats.passes, 10);
+    // Accept-if-improves (exact HPWL delta, min-gain threshold) converges
+    // well before 20 passes on 400 cells.
+    EXPECT_LT(stats.passes, 20);
     EXPECT_TRUE(check_legality(f.db, f.grid).legal);
 }
 

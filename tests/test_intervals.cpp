@@ -139,5 +139,36 @@ TEST(Intervals, BoundsAreFeasiblePositions) {
     }
 }
 
+TEST(Intervals, BindPointToIntervalsIntersectsMatchedRows) {
+    // Rows 0 and 1 both offer gap 0; the intersection of their ranges is
+    // the point's feasible x range.
+    std::vector<InsertionInterval> ivs;
+    ivs.push_back(InsertionInterval{0, 0, 2, 10});
+    ivs.push_back(InsertionInterval{1, 0, 5, 14});
+    SiteCoord lo = 0;
+    SiteCoord hi = 0;
+    ASSERT_TRUE(bind_point_to_intervals(ivs, 0, {0, 0}, lo, hi));
+    EXPECT_EQ(lo, 5);
+    EXPECT_EQ(hi, 10);
+}
+
+TEST(Intervals, BindPointToIntervalsRejectsUnmatchedRow) {
+    // Regression for the silent-sentinel bug: row 1 of the chosen
+    // combination has no interval for gap 1 (it was discarded as
+    // negative-length), so binding must fail instead of leaving row 1's
+    // constraint at the kSiteCoordMin/Max sentinels — which would pass a
+    // bare lo <= hi check and admit an x that is infeasible in row 1.
+    std::vector<InsertionInterval> ivs;
+    ivs.push_back(InsertionInterval{0, 0, 2, 10});
+    ivs.push_back(InsertionInterval{1, 0, 5, 14});
+    SiteCoord lo = 0;
+    SiteCoord hi = 0;
+    EXPECT_FALSE(bind_point_to_intervals(ivs, 0, {0, 1}, lo, hi));
+    // A combination with no rows at all is equally unrealizable.
+    EXPECT_FALSE(bind_point_to_intervals(ivs, 0, {}, lo, hi));
+    // Matching only via out-of-window rows must not succeed either.
+    EXPECT_FALSE(bind_point_to_intervals(ivs, 5, {0}, lo, hi));
+}
+
 }  // namespace
 }  // namespace mrlg::test

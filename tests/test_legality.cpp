@@ -51,6 +51,30 @@ TEST(Legality, DetectsOverlapSameRow) {
     EXPECT_GE(rep.num_overlaps, 1u);
 }
 
+TEST(Legality, DetectsNestedOverlapsUnderWideCell) {
+    // Regression: a wide cell fully covering two disjoint short cells.
+    // The old sweep compared each slice only against its immediate
+    // predecessor, so the second covered cell ([6,8) vs predecessor [2,4))
+    // was missed entirely. The running-max sweep must find both overlaps
+    // and attribute both to the covering cell.
+    Database db = empty_design(2, 50);
+    SegmentGrid grid = SegmentGrid::build(db);
+    const CellId wide = db.add_cell(Cell("wide", 10, 1));
+    db.cell(wide).set_pos(0, 0);  // bypass grid to create the violation
+    const CellId b = db.add_cell(Cell("b", 2, 1));
+    db.cell(b).set_pos(2, 0);
+    const CellId c = db.add_cell(Cell("c", 2, 1));
+    db.cell(c).set_pos(6, 0);
+    LegalityOptions opts;
+    opts.collect_overlap_pairs = true;
+    const LegalityReport rep = check_legality(db, grid, opts);
+    EXPECT_FALSE(rep.legal);
+    EXPECT_EQ(rep.num_overlaps, 2u);
+    ASSERT_EQ(rep.overlap_pairs.size(), 2u);
+    EXPECT_EQ(rep.overlap_pairs[0], (std::pair<CellId, CellId>{wide, b}));
+    EXPECT_EQ(rep.overlap_pairs[1], (std::pair<CellId, CellId>{wide, c}));
+}
+
 TEST(Legality, DetectsCrossRowOverlapViaMultiRowCell) {
     Database db = empty_design(3, 50);
     SegmentGrid grid = SegmentGrid::build(db);

@@ -1,0 +1,45 @@
+/// Replays every checked-in Bookshelf repro under tests/repros/ through
+/// its oracle battery (named by the .scenario sidecar). Each file is a
+/// minimal case the fuzzer once shrank out of a real divergence; a test
+/// failure here means a fixed bug has regressed. MRLG_REPRO_DIR is
+/// injected by the build (tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "qa/fuzz.hpp"
+
+namespace mrlg {
+namespace {
+
+std::vector<std::string> repro_aux_files() {
+    std::vector<std::string> files;
+    const std::filesystem::path dir = MRLG_REPRO_DIR;
+    if (std::filesystem::exists(dir)) {
+        for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+            if (entry.path().extension() == ".aux") {
+                files.push_back(entry.path().string());
+            }
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(Repros, DirectoryIsPopulated) {
+    // The suite ships at least the legality-sweep minimal repro (ISSUE 4).
+    EXPECT_FALSE(repro_aux_files().empty())
+        << "no .aux cases under " << MRLG_REPRO_DIR;
+}
+
+TEST(Repros, AllCasesReplayClean) {
+    for (const std::string& aux : repro_aux_files()) {
+        EXPECT_EQ(qa::replay_repro(aux), "") << aux;
+    }
+}
+
+}  // namespace
+}  // namespace mrlg

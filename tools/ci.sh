@@ -8,6 +8,8 @@
 #   5. ASan+UBSan build + full ctest suite (DCHECKs on)
 #   6. End-to-end invariant audit: mrlg_audit --gen --legalize at
 #      MRLG_VALIDATE=full must report zero audit failures
+#   7. Differential fuzz smoke: mrlg_fuzz with fixed seeds (~10 s); all
+#      oracle batteries must agree. MRLG_FUZZ_ITERS scales it up.
 #
 # Stages whose tools are not installed are SKIPped with a reason, not
 # failed: the container bakes in gcc/cmake/python3 but clang-tidy and
@@ -112,6 +114,17 @@ audit_stage() {
         --doubles 120 --seed 7 --legalize --level full
 }
 run_stage "end-to-end invariant audit (MRLG_VALIDATE=full)" audit_stage
+
+# ---------------------------------------------------------------- stage 7
+fuzz_smoke_stage() {
+    # Two fixed seeds, small budget (~10 s): the point is catching oracle
+    # divergences on every CI run, not deep exploration. Opt into longer
+    # campaigns with MRLG_FUZZ_ITERS (iterations per scenario).
+    ./build/tools/mrlg_fuzz --seed 1 --iters "${MRLG_FUZZ_ITERS:-4}" &&
+        ./build/tools/mrlg_fuzz --seed 20260806 \
+            --iters "${MRLG_FUZZ_ITERS:-4}"
+}
+run_stage "fuzz-smoke (differential oracles)" fuzz_smoke_stage
 
 # ------------------------------------------------------------------ report
 banner "summary"
