@@ -1,9 +1,6 @@
 #include "bench_common.hpp"
 
-#include <cmath>
-#include <cstdio>
 #include <cstdlib>
-#include <fstream>
 
 #include "eval/legality.hpp"
 #include "eval/metrics.hpp"
@@ -11,169 +8,6 @@
 #include "util/logging.hpp"
 
 namespace mrlg::bench {
-
-Json Json::object() {
-    Json j;
-    j.type_ = Type::kObject;
-    return j;
-}
-
-Json Json::array() {
-    Json j;
-    j.type_ = Type::kArray;
-    return j;
-}
-
-Json Json::num(double v) {
-    Json j;
-    j.type_ = Type::kNumber;
-    j.number_ = v;
-    return j;
-}
-
-Json Json::num(std::int64_t v) {
-    Json j;
-    j.type_ = Type::kInteger;
-    j.integer_ = v;
-    return j;
-}
-
-Json Json::num(std::size_t v) {
-    return num(static_cast<std::int64_t>(v));
-}
-
-Json Json::str(std::string v) {
-    Json j;
-    j.type_ = Type::kString;
-    j.string_ = std::move(v);
-    return j;
-}
-
-Json Json::boolean(bool v) {
-    Json j;
-    j.type_ = Type::kBool;
-    j.bool_ = v;
-    return j;
-}
-
-Json& Json::set(const std::string& key, Json v) {
-    MRLG_ASSERT(type_ == Type::kObject, "Json::set on a non-object");
-    for (auto& [k, existing] : members_) {
-        if (k == key) {
-            existing = std::move(v);
-            return *this;
-        }
-    }
-    members_.emplace_back(key, std::move(v));
-    return *this;
-}
-
-Json& Json::push(Json v) {
-    MRLG_ASSERT(type_ == Type::kArray, "Json::push on a non-array");
-    elements_.push_back(std::move(v));
-    return *this;
-}
-
-namespace {
-
-void write_escaped(std::ostream& os, const std::string& s) {
-    os << '"';
-    for (const char c : s) {
-        switch (c) {
-            case '"': os << "\\\""; break;
-            case '\\': os << "\\\\"; break;
-            case '\n': os << "\\n"; break;
-            case '\t': os << "\\t"; break;
-            default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                    os << buf;
-                } else {
-                    os << c;
-                }
-        }
-    }
-    os << '"';
-}
-
-void write_indent(std::ostream& os, int indent) {
-    for (int i = 0; i < indent; ++i) {
-        os << "  ";
-    }
-}
-
-}  // namespace
-
-void Json::write(std::ostream& os, int indent) const {
-    switch (type_) {
-        case Type::kNull:
-            os << "null";
-            break;
-        case Type::kBool:
-            os << (bool_ ? "true" : "false");
-            break;
-        case Type::kInteger:
-            os << integer_;
-            break;
-        case Type::kNumber: {
-            if (!std::isfinite(number_)) {
-                os << "null";  // JSON has no inf/nan
-                break;
-            }
-            char buf[64];
-            std::snprintf(buf, sizeof(buf), "%.10g", number_);
-            os << buf;
-            break;
-        }
-        case Type::kString:
-            write_escaped(os, string_);
-            break;
-        case Type::kObject: {
-            if (members_.empty()) {
-                os << "{}";
-                break;
-            }
-            os << "{\n";
-            for (std::size_t i = 0; i < members_.size(); ++i) {
-                write_indent(os, indent + 1);
-                write_escaped(os, members_[i].first);
-                os << ": ";
-                members_[i].second.write(os, indent + 1);
-                os << (i + 1 < members_.size() ? ",\n" : "\n");
-            }
-            write_indent(os, indent);
-            os << '}';
-            break;
-        }
-        case Type::kArray: {
-            if (elements_.empty()) {
-                os << "[]";
-                break;
-            }
-            os << "[\n";
-            for (std::size_t i = 0; i < elements_.size(); ++i) {
-                write_indent(os, indent + 1);
-                elements_[i].write(os, indent + 1);
-                os << (i + 1 < elements_.size() ? ",\n" : "\n");
-            }
-            write_indent(os, indent);
-            os << ']';
-            break;
-        }
-    }
-}
-
-bool write_json_file(const std::string& path, const Json& root) {
-    std::ofstream os(path);
-    if (!os) {
-        MRLG_LOG(kError) << "cannot open " << path << " for writing";
-        return false;
-    }
-    root.write(os, 0);
-    os << "\n";
-    return static_cast<bool>(os);
-}
 
 Args::Args(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {

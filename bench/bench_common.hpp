@@ -15,6 +15,7 @@
 #include "db/segment.hpp"
 #include "io/benchmark_gen.hpp"
 #include "legalize/legalizer.hpp"
+#include "obs/json.hpp"
 
 namespace mrlg::bench {
 
@@ -45,41 +46,11 @@ struct RunMetrics {
     std::size_t points_evaluated = 0;  ///< Insertion points scored by MLL.
 };
 
-/// Minimal JSON value tree (objects keep insertion order). Enough for the
-/// benchmark trajectory files; not a general-purpose parser (write-only).
-class Json {
-public:
-    Json() = default;  // null
-    static Json object();
-    static Json array();
-    static Json num(double v);
-    static Json num(std::int64_t v);
-    static Json num(std::size_t v);
-    static Json str(std::string v);
-    static Json boolean(bool v);
-
-    /// Object member (created/overwritten in insertion order).
-    Json& set(const std::string& key, Json v);
-    /// Array element.
-    Json& push(Json v);
-
-    void write(std::ostream& os, int indent = 0) const;
-
-private:
-    enum class Type { kNull, kBool, kNumber, kInteger, kString, kObject,
-                      kArray };
-    Type type_ = Type::kNull;
-    bool bool_ = false;
-    double number_ = 0.0;
-    std::int64_t integer_ = 0;
-    std::string string_;
-    std::vector<std::pair<std::string, Json>> members_;
-    std::vector<Json> elements_;
-};
-
-/// Writes `root` to `path` (pretty-printed, trailing newline). Returns
-/// false (and logs) when the file cannot be opened.
-bool write_json_file(const std::string& path, const Json& root);
+/// The JSON emitter lives in the product library now (obs/json.hpp) so
+/// run reports and benchmark trajectories share one serialization; these
+/// aliases keep the bench call sites unchanged.
+using Json = ::mrlg::obs::Json;
+using ::mrlg::obs::write_json_file;
 
 /// Unplaces every movable cell so the same design can be legalized again.
 void reset_placement(Database& db, SegmentGrid& grid);

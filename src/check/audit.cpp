@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "eval/legality.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -116,6 +117,7 @@ std::string seg_str(const Segment& s) {
 }  // namespace
 
 AuditReport audit_database(const Database& db) {
+    MRLG_OBS_COUNT("audit.database", 1);
     AuditReport r;
     r.scope = "database";
     const Floorplan& fp = db.floorplan();
@@ -215,6 +217,7 @@ AuditReport audit_database(const Database& db) {
 
 AuditReport audit_segment_grid(const Database& db, const SegmentGrid& grid,
                                AuditLevel level, bool check_rail) {
+    MRLG_OBS_COUNT("audit.segment_grid", 1);
     AuditReport r;
     r.scope = "segment-grid";
     if (level == AuditLevel::kOff) {
@@ -371,6 +374,7 @@ AuditReport audit_segment_grid(const Database& db, const SegmentGrid& grid,
 
 AuditReport audit_placement(const Database& db, const SegmentGrid& grid,
                             AuditLevel level, bool check_rail) {
+    MRLG_OBS_COUNT("audit.placement", 1);
     AuditReport r;
     r.scope = "placement";
     if (level == AuditLevel::kOff) {

@@ -7,6 +7,7 @@
 
 #include "dp/net_cache.hpp"
 #include "eval/legality.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
@@ -66,6 +67,7 @@ std::vector<NetId> affected_nets(const Database& db, CellId target,
 
 DetailedPlacementStats detailed_place(Database& db, SegmentGrid& grid,
                                       const DetailedPlacementOptions& opts) {
+    MRLG_OBS_PHASE("dp.place");
     Timer timer;
     DetailedPlacementStats stats;
     NetHpwlCache cache(db);
@@ -75,6 +77,7 @@ DetailedPlacementStats detailed_place(Database& db, SegmentGrid& grid,
     const double sh = db.floorplan().site_h_um();
 
     for (int pass = 0; pass < opts.max_passes; ++pass) {
+        MRLG_OBS_PHASE("dp.pass");
         stats.passes = pass + 1;
         std::size_t accepted_this_pass = 0;
 
@@ -160,6 +163,10 @@ DetailedPlacementStats detailed_place(Database& db, SegmentGrid& grid,
 
     stats.hpwl_after_um = cache.total();
     stats.runtime_s = timer.elapsed_s();
+    MRLG_OBS_COUNT("dp.passes", stats.passes);
+    MRLG_OBS_COUNT("dp.moves_attempted", stats.moves_attempted);
+    MRLG_OBS_COUNT("dp.moves_accepted", stats.moves_accepted);
+    MRLG_OBS_COUNT("dp.mll_failures", stats.mll_failures);
     return stats;
 }
 
@@ -197,6 +204,7 @@ SwapStats swap_pass(Database& db, SegmentGrid& grid,
         grid.place(db, b, ax, ay);
     };
 
+    MRLG_OBS_PHASE("dp.swap");
     for (int pass = 0; pass < opts.max_passes; ++pass) {
         std::unordered_map<Key, std::vector<CellId>, KeyHash> buckets;
         for (const CellId c : db.movable_cells()) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mrlg {
@@ -50,6 +51,8 @@ struct Violation {
 
 LegalityReport check_legality(const Database& db, const SegmentGrid& grid,
                               const LegalityOptions& opts) {
+    MRLG_OBS_PHASE("eval.legality");
+    MRLG_OBS_COUNT("eval.legality_checks", 1);
     LegalityReport rep;
     auto note = [&](const Violation& v) {
         rep.legal = false;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mrlg {
@@ -36,6 +37,7 @@ PinPos pin_position(const Database& db, const Pin& pin,
 }  // namespace
 
 double hpwl_um(const Database& db, PositionSource source, int num_threads) {
+    MRLG_OBS_PHASE("eval.hpwl");
     const std::vector<Net>& nets = db.nets();
     // Fixed grain: chunk boundaries (and thus the floating-point summation
     // order) depend only on the net count, never on the thread count.
@@ -78,6 +80,7 @@ double hpwl_delta(const Database& db, int num_threads) {
 }
 
 DisplacementStats displacement_stats(const Database& db) {
+    MRLG_OBS_PHASE("eval.displacement");
     DisplacementStats stats;
     const double sw = db.floorplan().site_w_um();
     const double sh = db.floorplan().site_h_um();

@@ -6,6 +6,7 @@
 
 #include "eval/legality.hpp"
 #include "eval/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mrlg {
 
@@ -35,6 +36,7 @@ const char* QualityReport::histogram_label(std::size_t bucket) {
 
 QualityReport make_quality_report(const Database& db, const SegmentGrid& grid,
                                   bool check_rail) {
+    MRLG_OBS_PHASE("eval.quality_report");
     QualityReport rep;
     rep.disp_histogram.assign(6, 0);
     rep.disp_by_height.assign(4, 0.0);

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "gp/cg.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -47,6 +48,7 @@ void connect(SpdMatrix& a, std::vector<double>& b, const PinPos& p,
 }  // namespace
 
 QuadraticStats quadratic_place(Database& db, const QuadraticOptions& opts) {
+    MRLG_OBS_PHASE("gp.place");
     QuadraticStats stats;
     const Rect die = db.floorplan().die();
     const double die_x0 = static_cast<double>(die.x);
@@ -130,6 +132,8 @@ QuadraticStats quadratic_place(Database& db, const QuadraticOptions& opts) {
 
     double anchor_w = opts.anchor_weight0;
     for (int iter = 0; iter < opts.iterations; ++iter) {
+        MRLG_OBS_PHASE("gp.iteration");
+        MRLG_OBS_COUNT("gp.iterations", 1);
         for (int dim = 0; dim < 2; ++dim) {
             std::vector<double>& pos = dim == 0 ? x : y;
             const double lo = dim == 0 ? die_x0 : die_y0;

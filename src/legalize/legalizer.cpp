@@ -7,6 +7,7 @@
 #include "eval/legality.hpp"
 #include "legalize/greedy.hpp"
 #include "legalize/ripup.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -57,6 +58,7 @@ Point nearest_aligned_position(const Database& db, CellId cell_id, double px,
 
 LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
                                   const LegalizerOptions& opts) {
+    MRLG_OBS_PHASE("legalize");
     Timer timer;
     LegalizerStats stats;
     Rng rng(opts.seed);
@@ -84,49 +86,52 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
         }
     };
 
-    std::vector<CellId> order = db.movable_cells();
-    stats.num_cells = order.size();
-    switch (opts.order) {
-        case LegalizerOptions::Order::kInputOrder:
-            break;
-        case LegalizerOptions::Order::kLeftToRight:
-            std::sort(order.begin(), order.end(), [&](CellId a, CellId b) {
-                return db.cell(a).gp_x() < db.cell(b).gp_x();
-            });
-            break;
-        case LegalizerOptions::Order::kAreaDescending:
-            std::stable_sort(order.begin(), order.end(),
-                             [&](CellId a, CellId b) {
-                                 const auto& ca = db.cell(a);
-                                 const auto& cb = db.cell(b);
-                                 return ca.width() * ca.height() >
-                                        cb.width() * cb.height();
-                             });
-            break;
-        case LegalizerOptions::Order::kMultiRowFirst:
-            std::stable_sort(order.begin(), order.end(),
-                             [&](CellId a, CellId b) {
-                                 return db.cell(a).height() >
-                                        db.cell(b).height();
-                             });
-            break;
-    }
+    std::vector<CellId> unplaced;
+    {
+        MRLG_OBS_PHASE("setup");
+        std::vector<CellId> order = db.movable_cells();
+        stats.num_cells = order.size();
+        switch (opts.order) {
+            case LegalizerOptions::Order::kInputOrder:
+                break;
+            case LegalizerOptions::Order::kLeftToRight:
+                std::sort(order.begin(), order.end(), [&](CellId a, CellId b) {
+                    return db.cell(a).gp_x() < db.cell(b).gp_x();
+                });
+                break;
+            case LegalizerOptions::Order::kAreaDescending:
+                std::stable_sort(order.begin(), order.end(),
+                                 [&](CellId a, CellId b) {
+                                     const auto& ca = db.cell(a);
+                                     const auto& cb = db.cell(b);
+                                     return ca.width() * ca.height() >
+                                            cb.width() * cb.height();
+                                 });
+                break;
+            case LegalizerOptions::Order::kMultiRowFirst:
+                std::stable_sort(order.begin(), order.end(),
+                                 [&](CellId a, CellId b) {
+                                     return db.cell(a).height() >
+                                            db.cell(b).height();
+                                 });
+                break;
+        }
 
-    if (opts.unplace_first) {
-        for (const CellId c : order) {
-            if (db.cell(c).placed()) {
-                grid.remove(db, c);
+        if (opts.unplace_first) {
+            for (const CellId c : order) {
+                if (db.cell(c).placed()) {
+                    grid.remove(db, c);
+                }
             }
         }
-    }
 
-    std::vector<CellId> unplaced;
-    for (const CellId c : order) {
-        if (!db.cell(c).placed()) {
-            unplaced.push_back(c);
+        for (const CellId c : order) {
+            if (!db.cell(c).placed()) {
+                unplaced.push_back(c);
+            }
         }
+        audit_grid(AuditLevel::kCheap);  // post-setup pre-condition
     }
-    audit_grid(AuditLevel::kCheap);  // post-setup pre-condition
 
     auto try_place = [&](CellId c, double px, double py,
                          bool allow_fallback, bool allow_ripup) -> bool {
@@ -147,6 +152,7 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
         stats.mll_points_evaluated += r.num_points;
         if (r.success()) {
             ++stats.mll_successes;
+            MRLG_OBS_OBSERVE("legalize.mll_real_cost_um", r.real_cost_um);
             audit_grid(AuditLevel::kFull);  // post-realization/commit
             return true;
         }
@@ -183,6 +189,7 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
     // growing random offsets (lines 9-17).
     for (int round = 1; !unplaced.empty() && round <= opts.max_rounds;
          ++round) {
+        MRLG_OBS_PHASE("round");
         stats.rounds = round;
         std::vector<CellId> still_unplaced;
         for (const CellId c : unplaced) {
@@ -211,6 +218,7 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
     if (audit >= AuditLevel::kCheap) {
         // Final audit at the configured depth: kFull adds the independent
         // eval/legality overlap sweep and the blockage intrusion check.
+        MRLG_OBS_PHASE("final_audit");
         ++stats.audits_run;
         enforce(audit_placement(db, grid, audit, mll_opts.check_rail));
     }
@@ -218,6 +226,21 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
     stats.unplaced = unplaced.size();
     stats.success = unplaced.empty();
     stats.runtime_s = timer.elapsed_s();
+
+    // Mirror the run's stats into the ambient tracer so a run report's
+    // counter block is complete even when the caller drops the stats.
+    MRLG_OBS_COUNT("legalize.runs", 1);
+    MRLG_OBS_COUNT("legalize.cells", stats.num_cells);
+    MRLG_OBS_COUNT("legalize.rounds", stats.rounds);
+    MRLG_OBS_COUNT("legalize.direct_placements", stats.direct_placements);
+    MRLG_OBS_COUNT("legalize.mll_successes", stats.mll_successes);
+    MRLG_OBS_COUNT("legalize.mll_failures", stats.mll_failures);
+    MRLG_OBS_COUNT("legalize.fallback_placements",
+                   stats.fallback_placements);
+    MRLG_OBS_COUNT("legalize.ripup_placements", stats.ripup_placements);
+    MRLG_OBS_COUNT("legalize.unplaced", stats.unplaced);
+    MRLG_OBS_COUNT("legalize.points_evaluated", stats.mll_points_evaluated);
+    MRLG_OBS_COUNT("legalize.audits_run", stats.audits_run);
     if (!stats.success) {
         MRLG_LOG(kWarn) << "legalization left " << stats.unplaced
                         << " cells unplaced after " << stats.rounds

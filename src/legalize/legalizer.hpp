@@ -64,6 +64,10 @@ struct LegalizerOptions {
     AuditLevel audit = audit_level_from_env();
 };
 
+/// Per-run statistics. Contract: every field here is surfaced verbatim in
+/// the run report's `legalizer` block (obs/run_report.cpp stats_json —
+/// keep the two in sync; test_obs.cpp RunReport.ContainsAllBlocks checks)
+/// and mirrored as `legalize.*` obs counters at the end of a run.
 struct LegalizerStats {
     bool success = false;       ///< Every movable cell placed.
     std::size_t num_cells = 0;

@@ -10,6 +10,7 @@
 #include "legalize/local_region.hpp"
 #include "legalize/minmax_placement.hpp"
 #include "legalize/realization.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -81,6 +82,8 @@ ScanBest scan_insertion_points(const LocalProblem& lp,
 MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
                     double pref_x, double pref_y, const MllOptions& opts,
                     MllScratch* scratch) {
+    MRLG_OBS_PHASE("mll");
+    MRLG_OBS_COUNT("mll.attempts", 1);
     MllResult res;
     const Cell& cell = db.cell(target_cell);
     MRLG_ASSERT(!cell.placed(), "MLL target must be unplaced");
@@ -107,6 +110,7 @@ MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
         db, grid, window, cell.region(),
         scratch != nullptr ? &scratch->region : nullptr);
     if (region.height() == 0) {
+        MRLG_OBS_COUNT("mll.no_region", 1);
         return res;
     }
     if (opts.audit >= AuditLevel::kFull) {
@@ -161,17 +165,27 @@ MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
     } else {
         enumr = enumerate_insertion_points(lp, intervals, target, eopts);
         res.enumeration_truncated = enumr.truncated;
+        if (enumr.truncated) {
+            MRLG_OBS_COUNT("mll.enumerations_truncated", 1);
+        }
         if (enumr.points.empty()) {
+            MRLG_OBS_COUNT("mll.no_insertion_point", 1);
             res.status = MllStatus::kNoInsertionPoint;
             return res;
         }
-        const ScanBest best = scan_insertion_points(lp, enumr, target, opts);
+        ScanBest best;
+        {
+            MRLG_OBS_PHASE("scan");
+            best = scan_insertion_points(lp, enumr, target, opts);
+        }
         // Per-point accounting: sum of points each chunk evaluated, exact
         // under any chunking (== points.size(); never the chunk count).
         res.num_points = best.evaluated;
+        MRLG_OBS_COUNT("mll.points_evaluated", best.evaluated);
         MRLG_ASSERT(best.evaluated == enumr.points.size(),
                     "parallel scan must evaluate every enumerated point");
         if (best.index == kNoPoint) {
+            MRLG_OBS_COUNT("mll.no_insertion_point", 1);
             res.status = MllStatus::kNoInsertionPoint;
             return res;
         }
@@ -197,6 +211,8 @@ MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
     grid.place(db, target_cell, real.xt, y_abs);
 
     res.status = MllStatus::kSuccess;
+    MRLG_OBS_COUNT("mll.commits", 1);
+    MRLG_OBS_COUNT("mll.cells_shifted", res.moved.size());
     res.x = real.xt;
     res.y = y_abs;
     res.est_cost_um = best_eval.cost_um;

@@ -5,6 +5,7 @@
 
 #include "check/audit.hpp"
 #include "eval/legality.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace mrlg {
@@ -42,6 +43,8 @@ void rollback(Database& db, SegmentGrid& grid, std::vector<Step>& steps) {
 RipupResult ripup_place(Database& db, SegmentGrid& grid, CellId target,
                         double pref_x, double pref_y,
                         const RipupOptions& opts) {
+    MRLG_OBS_PHASE("ripup");
+    MRLG_OBS_COUNT("ripup.attempts", 1);
     RipupResult res;
     const Cell& cell = db.cell(target);
     MRLG_ASSERT(!cell.placed() && !cell.fixed(),
@@ -171,6 +174,7 @@ RipupResult ripup_place(Database& db, SegmentGrid& grid, CellId target,
                 steps.push_back(std::move(s));
             }
             if (!all_back) {
+                MRLG_OBS_COUNT("ripup.rollbacks", 1);
                 rollback(db, grid, steps);
                 if (opts.audit >= AuditLevel::kFull) {
                     enforce(audit_segment_grid(db, grid, AuditLevel::kCheap,
@@ -187,6 +191,9 @@ RipupResult ripup_place(Database& db, SegmentGrid& grid, CellId target,
             res.y = y;
             res.evicted = victims.size();
             res.cost_um = cost;
+            MRLG_OBS_COUNT("ripup.commits", 1);
+            MRLG_OBS_COUNT("ripup.evictions", res.evicted);
+            MRLG_OBS_OBSERVE("ripup.cost_um", res.cost_um);
             return res;
         }
     }

@@ -1,0 +1,61 @@
+#pragma once
+/// \file clock.hpp
+/// Time source behind the obs tracer's phase timers. Production runs use
+/// the wall clock; deterministic runs (golden regression tests, the
+/// thread-count bit-identity property) substitute counted ticks so that a
+/// serialized run report is a pure function of the execution path — never
+/// of the scheduler or the machine.
+
+#include <chrono>
+#include <cstdint>
+
+namespace mrlg::obs {
+
+class Clock {
+public:
+    virtual ~Clock() = default;
+    /// Monotonic "now". Wall clocks return nanoseconds since an arbitrary
+    /// epoch; the tick clock returns a call counter scaled to fake
+    /// nanoseconds.
+    virtual std::uint64_t now_ns() = 0;
+    /// "wall" or "ticks" — recorded in the run report so consumers know
+    /// whether time values are physical.
+    virtual const char* kind() const = 0;
+};
+
+class WallClock final : public Clock {
+public:
+    std::uint64_t now_ns() override {
+        // obs Clock is itself a sanctioned wrapper: determinism-sensitive
+        // users take TickClock instead.
+        const auto now =
+            std::chrono::steady_clock::now();  // mrlg-lint: allow(wall-clock)
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now.time_since_epoch())
+                .count());
+    }
+    const char* kind() const override { return "wall"; }
+};
+
+/// Deterministic counted-tick clock: every read advances time by one fixed
+/// step. A phase's "duration" becomes the number of tracer events nested
+/// inside it — identical for identical execution paths, so reports are
+/// byte-for-byte reproducible across runs and thread counts (the tracer
+/// contract keeps all reads on the orchestrating thread).
+class TickClock final : public Clock {
+public:
+    explicit TickClock(std::uint64_t step_ns = 1000) : step_ns_(step_ns) {}
+    std::uint64_t now_ns() override {
+        ticks_ += step_ns_;
+        return ticks_;
+    }
+    const char* kind() const override { return "ticks"; }
+    std::uint64_t reads() const { return ticks_ / step_ns_; }
+
+private:
+    std::uint64_t step_ns_;
+    std::uint64_t ticks_ = 0;
+};
+
+}  // namespace mrlg::obs

@@ -1,0 +1,55 @@
+#pragma once
+/// \file json.hpp
+/// Minimal write-only JSON value tree (objects keep insertion order) — the
+/// serialization substrate for run reports (obs/run_report.hpp) and the
+/// benchmark trajectory files. Promoted out of bench_common so the product
+/// library can emit machine-readable reports; bench/ aliases this type.
+/// Not a parser: goldens are compared as canonical serialized text.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mrlg::obs {
+
+class Json {
+public:
+    Json() = default;  // null
+    static Json object();
+    static Json array();
+    static Json num(double v);
+    static Json num(std::int64_t v);
+    static Json num(std::size_t v);
+    static Json num(int v) { return num(static_cast<std::int64_t>(v)); }
+    static Json str(std::string v);
+    static Json boolean(bool v);
+
+    /// Object member (created/overwritten in insertion order).
+    Json& set(const std::string& key, Json v);
+    /// Array element.
+    Json& push(Json v);
+
+    void write(std::ostream& os, int indent = 0) const;
+    /// Canonical serialized text (what `write` emits, plus a trailing
+    /// newline) — the unit of golden-file comparison.
+    std::string dump() const;
+
+private:
+    enum class Type { kNull, kBool, kNumber, kInteger, kString, kObject,
+                      kArray };
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::int64_t integer_ = 0;
+    std::string string_;
+    std::vector<std::pair<std::string, Json>> members_;
+    std::vector<Json> elements_;
+};
+
+/// Writes `root` to `path` (pretty-printed, trailing newline). Returns
+/// false (and logs) when the file cannot be opened.
+bool write_json_file(const std::string& path, const Json& root);
+
+}  // namespace mrlg::obs

@@ -1,0 +1,156 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace mrlg::obs {
+
+namespace {
+/// Ambient tracer. Deliberately not thread_local: the determinism contract
+/// keeps every tracer access on the orchestrating thread, and one process
+/// traces one run at a time (nesting is handled by ScopedTracer's
+/// save/restore).
+Tracer* g_current_tracer = nullptr;
+}  // namespace
+
+Tracer* current_tracer() { return g_current_tracer; }
+
+void set_current_tracer(Tracer* tracer) { g_current_tracer = tracer; }
+
+void Histogram::observe(double v) {
+    ++count;
+    sum += v;
+    max = std::max(max, v);
+    std::size_t bucket = 0;
+    double edge = 1.0;  // bucket 0 = [0, 1)
+    while (bucket + 1 < kBuckets && v >= edge) {
+        ++bucket;
+        edge *= 2.0;
+    }
+    ++buckets[bucket];
+}
+
+PhaseNode* PhaseNode::child(std::string_view child_name) {
+    for (const auto& c : children) {
+        if (c->name == child_name) {
+            return c.get();
+        }
+    }
+    children.push_back(std::make_unique<PhaseNode>());
+    children.back()->name = std::string(child_name);
+    return children.back().get();
+}
+
+Tracer::Tracer(Clock* clock)
+    : clock_(clock != nullptr ? clock : &default_clock_) {
+    root_.name = "run";
+    root_.calls = 1;
+    stack_.emplace_back(&root_, clock_->now_ns());
+}
+
+void Tracer::phase_begin(std::string_view name) {
+    PhaseNode* node = stack_.back().first->child(name);
+    ++node->calls;
+    stack_.emplace_back(node, clock_->now_ns());
+}
+
+void Tracer::phase_end() {
+    MRLG_ASSERT(stack_.size() > 1, "phase_end without matching phase_begin");
+    auto [node, begin_ns] = stack_.back();
+    stack_.pop_back();
+    node->total_ns += clock_->now_ns() - begin_ns;
+}
+
+void Tracer::count(std::string_view name, std::uint64_t n) {
+    if (const auto it = counters_.find(name); it != counters_.end()) {
+        it->second += n;
+    } else {
+        counters_.emplace(std::string(name), n);
+    }
+}
+
+void Tracer::observe(std::string_view name, double v) {
+    if (const auto it = hists_.find(name); it != hists_.end()) {
+        it->second.observe(v);
+    } else {
+        hists_.emplace(std::string(name), Histogram{}).first->second
+            .observe(v);
+    }
+}
+
+std::uint64_t Tracer::counter(std::string_view name) const {
+    const auto it = counters_.find(name);
+    return it != counters_.end() ? it->second : 0;
+}
+
+const Histogram* Tracer::histogram(std::string_view name) const {
+    const auto it = hists_.find(name);
+    return it != hists_.end() ? &it->second : nullptr;
+}
+
+bool Tracer::deterministic() const {
+    return std::strcmp(clock_->kind(), "wall") != 0;
+}
+
+namespace {
+
+Json phase_to_json(const PhaseNode& node) {
+    Json j = Json::object();
+    j.set("name", Json::str(node.name));
+    j.set("time_s", Json::num(static_cast<double>(node.total_ns) * 1e-9));
+    j.set("calls", Json::num(node.calls));
+    if (!node.children.empty()) {
+        Json kids = Json::array();
+        for (const auto& c : node.children) {
+            kids.push(phase_to_json(*c));
+        }
+        j.set("children", std::move(kids));
+    }
+    return j;
+}
+
+}  // namespace
+
+Json Tracer::to_json() {
+    MRLG_ASSERT(stack_.size() == 1,
+                "Tracer::to_json with phases still open");
+    // Close the root span: its total covers construction to serialization.
+    root_.total_ns = clock_->now_ns() - stack_.front().second;
+
+    Json j = Json::object();
+    j.set("clock", Json::str(clock_->kind()));
+
+    Json counters = Json::object();
+    for (const auto& [name, value] : counters_) {
+        counters.set(name, Json::num(value));
+    }
+    j.set("counters", std::move(counters));
+
+    Json hists = Json::object();
+    for (const auto& [name, h] : hists_) {
+        Json hj = Json::object();
+        hj.set("count", Json::num(h.count));
+        hj.set("sum", Json::num(h.sum));
+        hj.set("max", Json::num(h.max));
+        // Trailing all-zero buckets are elided; bucket i covers
+        // [2^(i-1), 2^i), bucket 0 covers [0, 1).
+        std::size_t last = h.buckets.size();
+        while (last > 0 && h.buckets[last - 1] == 0) {
+            --last;
+        }
+        Json buckets = Json::array();
+        for (std::size_t i = 0; i < last; ++i) {
+            buckets.push(Json::num(h.buckets[i]));
+        }
+        hj.set("buckets", std::move(buckets));
+        hists.set(name, std::move(hj));
+    }
+    j.set("histograms", std::move(hists));
+
+    j.set("phases", phase_to_json(root_));
+    return j;
+}
+
+}  // namespace mrlg::obs

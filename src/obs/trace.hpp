@@ -1,0 +1,186 @@
+#pragma once
+/// \file trace.hpp
+/// Deterministic tracing/metrics: hierarchical phase timers, monotonic
+/// counters, and log2-bucket histograms, all owned by a Tracer that
+/// serializes into the run report (obs/run_report.hpp).
+///
+/// Activation model: instrumented code calls the MRLG_OBS_* macros, which
+/// consult an ambient "current tracer" pointer. With no tracer installed
+/// (the default) every macro is a single pointer load and branch, so
+/// production hot paths pay nothing measurable; defining MRLG_NO_OBS
+/// compiles the bodies out entirely while keeping the operands parsed and
+/// name-resolved (the MRLG_DCHECK no-op idiom — instrumentation cannot
+/// rot in an untraced build).
+///
+/// Determinism contract: a Tracer is single-threaded by design. Instrument
+/// only from the orchestrating thread — worker-pool lambdas must never
+/// touch the tracer. That is what makes tick-clock reports bit-identical
+/// across `num_threads` values: the sequence of clock reads and metric
+/// updates depends only on the (deterministic) serial execution path,
+/// never on scheduling.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+
+namespace mrlg::obs {
+
+/// Log2-bucket histogram: bucket i counts values in [2^(i-1), 2^i) with
+/// bucket 0 = [0, 1); the last bucket absorbs everything larger. Negative
+/// values clamp into bucket 0.
+struct Histogram {
+    static constexpr std::size_t kBuckets = 16;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    void observe(double v);
+};
+
+/// One node of the phase tree. Children are ordered by first entry, so the
+/// serialized tree is deterministic.
+struct PhaseNode {
+    std::string name;
+    std::uint64_t total_ns = 0;
+    std::uint64_t calls = 0;
+    std::vector<std::unique_ptr<PhaseNode>> children;
+
+    /// Find-or-create a child (linear scan; phase fan-out is small).
+    PhaseNode* child(std::string_view child_name);
+};
+
+class Tracer {
+public:
+    /// `clock` must outlive the tracer; nullptr = own wall clock.
+    explicit Tracer(Clock* clock = nullptr);
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    void phase_begin(std::string_view name);
+    void phase_end();
+    void count(std::string_view name, std::uint64_t n = 1);
+    void observe(std::string_view name, double v);
+
+    /// Phase-tree root (name "run"; its total covers begin-to-serialize).
+    const PhaseNode& root() const { return root_; }
+    /// Counter value, 0 when the counter was never touched.
+    std::uint64_t counter(std::string_view name) const;
+    /// Histogram, nullptr when never observed.
+    const Histogram* histogram(std::string_view name) const;
+    const char* clock_kind() const { return clock_->kind(); }
+    bool deterministic() const;
+
+    /// Serializes phases/counters/histograms (the "metrics" sub-object of
+    /// the run report). Closes the root span as a side effect.
+    Json to_json();
+
+private:
+    WallClock default_clock_;
+    Clock* clock_;
+    PhaseNode root_;
+    /// Open spans: (node, begin timestamp). stack_[0] is the root.
+    std::vector<std::pair<PhaseNode*, std::uint64_t>> stack_;
+    std::map<std::string, std::uint64_t, std::less<>> counters_;
+    std::map<std::string, Histogram, std::less<>> hists_;
+};
+
+/// Ambient tracer consulted by the MRLG_OBS_* macros; nullptr = tracing
+/// disabled (the default).
+Tracer* current_tracer();
+void set_current_tracer(Tracer* tracer);
+
+/// RAII install/restore of the ambient tracer.
+class ScopedTracer {
+public:
+    explicit ScopedTracer(Tracer& tracer) : prev_(current_tracer()) {
+        set_current_tracer(&tracer);
+    }
+    ~ScopedTracer() { set_current_tracer(prev_); }
+    ScopedTracer(const ScopedTracer&) = delete;
+    ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+private:
+    Tracer* prev_;
+};
+
+/// RAII phase span against the ambient tracer. Captures the tracer at
+/// construction so a span stays balanced even if the ambient pointer
+/// changes inside the scope.
+class ScopedPhase {
+public:
+    explicit ScopedPhase(std::string_view name) : tracer_(current_tracer()) {
+        if (tracer_ != nullptr) {
+            tracer_->phase_begin(name);
+        }
+    }
+    ~ScopedPhase() {
+        if (tracer_ != nullptr) {
+            tracer_->phase_end();
+        }
+    }
+    ScopedPhase(const ScopedPhase&) = delete;
+    ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+private:
+    Tracer* tracer_;
+};
+
+}  // namespace mrlg::obs
+
+#define MRLG_OBS_CONCAT_IMPL(a, b) a##b
+#define MRLG_OBS_CONCAT(a, b) MRLG_OBS_CONCAT_IMPL(a, b)
+
+#ifndef MRLG_NO_OBS
+
+/// Times the enclosing scope as a phase (nested under the innermost open
+/// phase of the ambient tracer).
+#define MRLG_OBS_PHASE(name) \
+    ::mrlg::obs::ScopedPhase MRLG_OBS_CONCAT(mrlg_obs_phase_, __LINE__)(name)
+
+/// Adds `n` to the named monotonic counter.
+#define MRLG_OBS_COUNT(name, n)                                             \
+    do {                                                                    \
+        if (::mrlg::obs::Tracer* mrlg_obs_t = ::mrlg::obs::current_tracer();\
+            mrlg_obs_t != nullptr) {                                        \
+            mrlg_obs_t->count((name), static_cast<std::uint64_t>(n));       \
+        }                                                                   \
+    } while (false)
+
+/// Records `v` into the named histogram.
+#define MRLG_OBS_OBSERVE(name, v)                                           \
+    do {                                                                    \
+        if (::mrlg::obs::Tracer* mrlg_obs_t = ::mrlg::obs::current_tracer();\
+            mrlg_obs_t != nullptr) {                                        \
+            mrlg_obs_t->observe((name), static_cast<double>(v));            \
+        }                                                                   \
+    } while (false)
+
+#else  // MRLG_NO_OBS: compiled out, operands still parse and name-resolve
+       // (the MRLG_DCHECK idiom — see util/assert.hpp).
+
+#define MRLG_OBS_PHASE(name)                                                \
+    do {                                                                    \
+        static_cast<void>(sizeof(name));                                    \
+    } while (false)
+
+#define MRLG_OBS_COUNT(name, n)                                             \
+    do {                                                                    \
+        static_cast<void>(sizeof(name));                                    \
+        static_cast<void>(sizeof(n));                                       \
+    } while (false)
+
+#define MRLG_OBS_OBSERVE(name, v)                                           \
+    do {                                                                    \
+        static_cast<void>(sizeof(name));                                    \
+        static_cast<void>(sizeof(v));                                       \
+    } while (false)
+
+#endif  // MRLG_NO_OBS

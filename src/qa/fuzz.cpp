@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "eval/legality.hpp"
+#include "obs/trace.hpp"
 #include "io/bookshelf.hpp"
 #include "legalize/legalizer.hpp"
 #include "legalize/mll.hpp"
@@ -239,6 +240,7 @@ std::string replay_repro(const std::string& aux_path,
 }
 
 FuzzReport run_fuzz(const FuzzOptions& opts) {
+    MRLG_OBS_PHASE("fuzz");
     std::vector<FuzzScenario> scens = opts.scenarios;
     if (scens.empty()) {
         scens = {FuzzScenario::kLegality, FuzzScenario::kLocal,
@@ -261,6 +263,7 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
         const std::string detail =
             check_case(db, scen, lopts, opts.num_threads);
         ++report.iterations_run;
+        MRLG_OBS_COUNT("fuzz.iterations", 1);
         if (detail.empty()) {
             continue;
         }
@@ -291,6 +294,7 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
             f.repro_path =
                 dump_repro(minimal, scen, opts.repro_dir, name.str());
         }
+        MRLG_OBS_COUNT("fuzz.failures", 1);
         report.failures.push_back(std::move(f));
     }
     return report;

@@ -1,0 +1,309 @@
+/// Unit tests for the obs subsystem (json/clock/trace/run_report) plus the
+/// determinism property tests: with a counted-tick clock the full run
+/// report is bit-identical across evaluation thread counts and across
+/// repeated runs, because the tracer only ever sees the serial execution
+/// path of the orchestrating thread.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "db/segment.hpp"
+#include "io/benchmark_gen.hpp"
+#include "legalize/legalizer.hpp"
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
+
+namespace mrlg {
+namespace {
+
+using obs::Histogram;
+using obs::Json;
+using obs::PhaseNode;
+using obs::ScopedPhase;
+using obs::ScopedTracer;
+using obs::TickClock;
+using obs::Tracer;
+using obs::WallClock;
+
+// ---------------------------------------------------------------- json ----
+
+TEST(Json, SerializesScalarsAndEscapes) {
+    Json j = Json::object();
+    j.set("int", Json::num(static_cast<std::int64_t>(-42)));
+    j.set("size", Json::num(static_cast<std::size_t>(7)));
+    j.set("pi", Json::num(3.25));
+    j.set("flag", Json::boolean(true));
+    j.set("text", Json::str("a\"b\\c\n"));
+    const std::string s = j.dump();
+    EXPECT_NE(s.find("\"int\": -42"), std::string::npos);
+    EXPECT_NE(s.find("\"size\": 7"), std::string::npos);
+    EXPECT_NE(s.find("\"pi\": 3.25"), std::string::npos);
+    EXPECT_NE(s.find("\"flag\": true"), std::string::npos);
+    EXPECT_NE(s.find("a\\\"b\\\\c\\n"), std::string::npos);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+    Json j = Json::object();
+    j.set("zulu", Json::num(1));
+    j.set("alpha", Json::num(2));
+    j.set("mike", Json::num(3));
+    const std::string s = j.dump();
+    EXPECT_LT(s.find("zulu"), s.find("alpha"));
+    EXPECT_LT(s.find("alpha"), s.find("mike"));
+}
+
+TEST(Json, ArraysAndNesting) {
+    Json arr = Json::array();
+    arr.push(Json::num(1));
+    arr.push(Json::num(2));
+    Json j = Json::object();
+    j.set("xs", std::move(arr));
+    EXPECT_NE(j.dump().find("[\n    1,\n    2\n  ]"), std::string::npos)
+        << j.dump();
+}
+
+TEST(Json, DumpIsStableAcrossCalls) {
+    Json j = Json::object();
+    j.set("a", Json::num(1.5));
+    EXPECT_EQ(j.dump(), j.dump());
+}
+
+// --------------------------------------------------------------- clock ----
+
+TEST(Clock, TickClockAdvancesByStepPerRead) {
+    TickClock c(100);
+    EXPECT_EQ(c.now_ns(), 100u);
+    EXPECT_EQ(c.now_ns(), 200u);
+    EXPECT_EQ(c.now_ns(), 300u);
+    EXPECT_STREQ(c.kind(), "ticks");
+}
+
+TEST(Clock, WallClockIsMonotonic) {
+    WallClock c;
+    const std::uint64_t a = c.now_ns();
+    const std::uint64_t b = c.now_ns();
+    EXPECT_LE(a, b);
+    EXPECT_STREQ(c.kind(), "wall");
+}
+
+// ----------------------------------------------------------- histogram ----
+
+TEST(HistogramTest, Log2Buckets) {
+    Histogram h;
+    h.observe(0.0);    // [0,1) -> bucket 0
+    h.observe(0.5);    // bucket 0
+    h.observe(1.0);    // [1,2) -> bucket 1
+    h.observe(3.0);    // [2,4) -> bucket 2
+    h.observe(1e12);   // overflow -> last bucket
+    h.observe(-5.0);   // clamps into bucket 0
+    EXPECT_EQ(h.count, 6u);
+    EXPECT_DOUBLE_EQ(h.max, 1e12);
+    EXPECT_EQ(h.buckets[0], 3u);
+    EXPECT_EQ(h.buckets[1], 1u);
+    EXPECT_EQ(h.buckets[2], 1u);
+    EXPECT_EQ(h.buckets[Histogram::kBuckets - 1], 1u);
+}
+
+// -------------------------------------------------------------- tracer ----
+
+TEST(TracerTest, PhaseTreeNestsAndCountsCalls) {
+    TickClock clock;
+    Tracer t(&clock);
+    for (int i = 0; i < 3; ++i) {
+        t.phase_begin("outer");
+        t.phase_begin("inner");
+        t.phase_end();
+        t.phase_end();
+    }
+    const PhaseNode& root = t.root();
+    ASSERT_EQ(root.children.size(), 1u);
+    const PhaseNode& outer = *root.children[0];
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_EQ(outer.calls, 3u);
+    ASSERT_EQ(outer.children.size(), 1u);
+    EXPECT_EQ(outer.children[0]->name, "inner");
+    EXPECT_EQ(outer.children[0]->calls, 3u);
+    // Each tick-clock read advances by the step, so spans have nonzero
+    // deterministic durations and inner <= outer.
+    EXPECT_GT(outer.children[0]->total_ns, 0u);
+    EXPECT_LE(outer.children[0]->total_ns, outer.total_ns);
+}
+
+TEST(TracerTest, CountersAccumulateAndDefaultToZero) {
+    Tracer t;
+    t.count("a", 2);
+    t.count("a", 3);
+    t.count("b");
+    EXPECT_EQ(t.counter("a"), 5u);
+    EXPECT_EQ(t.counter("b"), 1u);
+    EXPECT_EQ(t.counter("never_touched"), 0u);
+    EXPECT_EQ(t.histogram("never_observed"), nullptr);
+}
+
+TEST(TracerTest, MacrosAreNoOpsWithoutAmbientTracer) {
+    ASSERT_EQ(obs::current_tracer(), nullptr);
+    // Must not crash nor evaluate into anything observable.
+    MRLG_OBS_COUNT("orphan", 1);
+    MRLG_OBS_OBSERVE("orphan", 2.0);
+    { MRLG_OBS_PHASE("orphan"); }
+    SUCCEED();
+}
+
+TEST(TracerTest, ScopedTracerInstallsAndRestores) {
+    ASSERT_EQ(obs::current_tracer(), nullptr);
+    Tracer outer_t;
+    {
+        ScopedTracer install_outer(outer_t);
+        EXPECT_EQ(obs::current_tracer(), &outer_t);
+        Tracer inner_t;
+        {
+            ScopedTracer install_inner(inner_t);
+            EXPECT_EQ(obs::current_tracer(), &inner_t);
+            MRLG_OBS_COUNT("seen", 1);
+        }
+        EXPECT_EQ(obs::current_tracer(), &outer_t);
+        EXPECT_EQ(inner_t.counter("seen"), 1u);
+        EXPECT_EQ(outer_t.counter("seen"), 0u);
+    }
+    EXPECT_EQ(obs::current_tracer(), nullptr);
+}
+
+TEST(TracerTest, ToJsonEmitsClockCountersHistogramsPhases) {
+    TickClock clock;
+    Tracer t(&clock);
+    ScopedTracer install(t);
+    {
+        MRLG_OBS_PHASE("work");
+        MRLG_OBS_COUNT("work.items", 4);
+        MRLG_OBS_OBSERVE("work.size", 3.0);
+    }
+    const std::string s = t.to_json().dump();
+    EXPECT_NE(s.find("\"clock\": \"ticks\""), std::string::npos);
+    EXPECT_NE(s.find("\"work.items\": 4"), std::string::npos);
+    EXPECT_NE(s.find("\"work.size\""), std::string::npos);
+    EXPECT_NE(s.find("\"work\""), std::string::npos);
+    EXPECT_TRUE(t.deterministic());
+}
+
+TEST(TracerTest, WallTracerIsNotDeterministic) {
+    Tracer t;
+    EXPECT_FALSE(t.deterministic());
+}
+
+// ---------------------------------------------------------- run report ----
+
+namespace {
+
+GenResult small_benchmark() {
+    GenProfile p;
+    p.name = "obs-test";
+    p.num_single = 120;
+    p.num_double = 12;
+    p.density = 0.5;
+    p.seed = 7;
+    return generate_benchmark(p);
+}
+
+/// One full legalization run traced under a tick clock; returns the
+/// serialized run report. `spec.num_threads` is pinned to 0 so the report
+/// records the *design-independent* configuration while the run itself
+/// uses `num_threads` evaluation threads — the property under test is
+/// that every other byte is identical too.
+std::string deterministic_report(int num_threads) {
+    GenResult gen = small_benchmark();
+    SegmentGrid grid = SegmentGrid::build(gen.db);
+    LegalizerOptions opts;
+    opts.num_threads = num_threads;
+    obs::TickClock clock;
+    Tracer tracer(&clock);
+    ScopedTracer install(tracer);
+    const LegalizerStats stats = legalize_placement(gen.db, grid, opts);
+    obs::RunReportSpec spec;
+    spec.tool = "test_obs";
+    spec.design = "obs-test";
+    spec.db = &gen.db;
+    spec.grid = &grid;
+    spec.num_threads = 0;
+    spec.options = &opts;
+    spec.stats = &stats;
+    spec.tracer = &tracer;
+    return obs::make_run_report(spec).dump();
+}
+
+}  // namespace
+
+TEST(RunReport, ContainsAllBlocks) {
+    const std::string s = deterministic_report(1);
+    EXPECT_NE(s.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(s.find("\"options\""), std::string::npos);
+    EXPECT_NE(s.find("\"design_stats\""), std::string::npos);
+    EXPECT_NE(s.find("\"legalizer\""), std::string::npos);
+    EXPECT_NE(s.find("\"quality\""), std::string::npos);
+    EXPECT_NE(s.find("\"metrics\""), std::string::npos);
+    EXPECT_NE(s.find("\"legal\": true"), std::string::npos);
+    // Every LegalizerStats field is surfaced in the legalizer block.
+    for (const char* field :
+         {"success", "num_cells", "direct_placements", "mll_successes",
+          "mll_failures", "fallback_placements", "ripup_placements",
+          "unplaced", "mll_points_evaluated", "audits_run", "rounds"}) {
+        EXPECT_NE(s.find("\"" + std::string(field) + "\""),
+                  std::string::npos)
+            << field;
+    }
+}
+
+TEST(RunReport, DeterministicModeOmitsWallRuntime) {
+    const std::string s = deterministic_report(1);
+    EXPECT_EQ(s.find("\"runtime_s\""), std::string::npos);
+}
+
+TEST(RunReport, WallModeIncludesRuntime) {
+    GenResult gen = small_benchmark();
+    SegmentGrid grid = SegmentGrid::build(gen.db);
+    LegalizerOptions opts;
+    Tracer tracer;  // wall clock
+    ScopedTracer install(tracer);
+    const LegalizerStats stats = legalize_placement(gen.db, grid, opts);
+    obs::RunReportSpec spec;
+    spec.tool = "test_obs";
+    spec.design = "obs-test";
+    spec.stats = &stats;
+    spec.tracer = &tracer;
+    const std::string s = obs::make_run_report(spec).dump();
+    EXPECT_NE(s.find("\"runtime_s\""), std::string::npos);
+    EXPECT_NE(s.find("\"clock\": \"wall\""), std::string::npos);
+}
+
+TEST(RunReport, BlocksOmittedWithoutSources) {
+    obs::RunReportSpec spec;
+    spec.tool = "test_obs";
+    spec.design = "empty";
+    const std::string s = obs::make_run_report(spec).dump();
+    EXPECT_EQ(s.find("\"options\""), std::string::npos);
+    EXPECT_EQ(s.find("\"design_stats\""), std::string::npos);
+    EXPECT_EQ(s.find("\"legalizer\""), std::string::npos);
+    EXPECT_EQ(s.find("\"quality\""), std::string::npos);
+    EXPECT_EQ(s.find("\"metrics\""), std::string::npos);
+}
+
+// ------------------------------------------- determinism (satellite 2) ----
+
+TEST(RunReportDeterminism, BitIdenticalAcrossThreadCounts) {
+    const std::string t1 = deterministic_report(1);
+    const std::string t2 = deterministic_report(2);
+    const std::string t8 = deterministic_report(8);
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(t1, t8);
+}
+
+TEST(RunReportDeterminism, BitIdenticalAcrossRepeatedRuns) {
+    const std::string a = deterministic_report(2);
+    const std::string b = deterministic_report(2);
+    EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace mrlg

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates the golden run reports under tests/goldens/ after an
+# intended behaviour change. Builds test_golden in the given (or default)
+# build directory and reruns it in update mode; review the resulting JSON
+# diff before committing.
+#
+# Usage: tests/update_goldens.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -S "$repo_root" -B "$build_dir" >/dev/null
+cmake --build "$build_dir" --target test_golden -j >/dev/null
+
+MRLG_UPDATE_GOLDENS=1 "$build_dir/tests/test_golden" \
+    --gtest_filter='Golden.UniformSmall:Golden.BlockedMixed:Golden.FencedDense'
+
+git -C "$repo_root" --no-pager diff --stat -- tests/goldens || true
+echo "goldens updated; inspect 'git diff tests/goldens' before committing"

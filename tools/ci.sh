@@ -10,6 +10,11 @@
 #      MRLG_VALIDATE=full must report zero audit failures
 #   7. Differential fuzz smoke: mrlg_fuzz with fixed seeds (~10 s); all
 #      oracle batteries must agree. MRLG_FUZZ_ITERS scales it up.
+#   8. Coverage: gcovr over a --coverage build running the fast unit
+#      tier (ctest -L unit); SKIPped when gcovr is not installed.
+#
+# The test suite is partitioned by ctest labels (unit/e2e/fuzz/golden);
+# `ctest --test-dir build -L unit` is the fast inner-loop tier.
 #
 # Stages whose tools are not installed are SKIPped with a reason, not
 # failed: the container bakes in gcc/cmake/python3 but clang-tidy and
@@ -125,6 +130,24 @@ fuzz_smoke_stage() {
             --iters "${MRLG_FUZZ_ITERS:-4}"
 }
 run_stage "fuzz-smoke (differential oracles)" fuzz_smoke_stage
+
+# ---------------------------------------------------------------- stage 8
+if command -v gcovr >/dev/null 2>&1; then
+    coverage_stage() {
+        # Instrumented build of the unit tier only: coverage is a trend
+        # signal, so the fast tests suffice and keep the stage cheap.
+        cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug \
+            -DCMAKE_CXX_FLAGS=--coverage >/dev/null &&
+            cmake --build build-cov -j "$JOBS" &&
+            ctest --test-dir build-cov -L unit -j "$JOBS" \
+                --output-on-failure &&
+            gcovr --root . --filter src/ --print-summary \
+                -o build-cov/coverage.txt build-cov
+    }
+    run_stage "coverage (gcovr, unit tier)" coverage_stage
+else
+    skip_stage "coverage (gcovr, unit tier)" "gcovr not installed"
+fi
 
 # ------------------------------------------------------------------ report
 banner "summary"

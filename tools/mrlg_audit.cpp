@@ -18,6 +18,7 @@
 ///     --legalize        run the legalizer first, hooks at --level
 ///     --relaxed         drop the power-rail parity constraint
 ///     --level L         off|cheap|full (default: MRLG_VALIDATE, else full)
+///     --report FILE     write the JSON run report (docs/REPORT.md)
 
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +31,7 @@
 #include "io/bookshelf.hpp"
 #include "io/lefdef.hpp"
 #include "legalize/legalizer.hpp"
+#include "obs/run_report.hpp"
 
 using namespace mrlg;
 
@@ -56,7 +58,8 @@ bool has_flag(int argc, char** argv, const char* key) {
 int usage() {
     std::cerr << "usage: mrlg_audit <design.aux> | --lef L --def D | --gen\n"
                  "       [--singles N] [--doubles N] [--density D] [--seed S]\n"
-                 "       [--legalize] [--relaxed] [--level off|cheap|full]\n";
+                 "       [--legalize] [--relaxed] [--level off|cheap|full]\n"
+                 "       [--report FILE]\n";
     return 2;
 }
 
@@ -127,13 +130,20 @@ int main(int argc, char** argv) {
     }
     const bool check_rail = !has_flag(argc, argv, "--relaxed");
 
+    // Trace the run so --report can serialize phases and audit counters.
+    obs::Tracer tracer;
+    obs::ScopedTracer install(tracer);
+
     SegmentGrid grid = SegmentGrid::build(db);
+    LegalizerOptions opts;
+    LegalizerStats stats;
+    bool legalized = false;
     if (has_flag(argc, argv, "--legalize")) {
-        LegalizerOptions opts;
         opts.mll.check_rail = check_rail;
         opts.audit = level;
         try {
-            const LegalizerStats stats = legalize_placement(db, grid, opts);
+            stats = legalize_placement(db, grid, opts);
+            legalized = true;
             std::cout << design << ": legalized " << stats.num_cells
                       << " cells in " << stats.runtime_s << " s, "
                       << stats.audits_run << " in-run audits at level "
@@ -151,5 +161,22 @@ int main(int argc, char** argv) {
 
     const AuditReport report = audit_placement(db, grid, level, check_rail);
     std::cout << design << ": " << report.to_string() << "\n";
+
+    if (const char* path = find_arg(argc, argv, "--report")) {
+        obs::RunReportSpec spec;
+        spec.tool = "mrlg_audit";
+        spec.design = design;
+        spec.db = &db;
+        spec.grid = &grid;
+        spec.check_rail = check_rail;
+        if (legalized) {
+            spec.options = &opts;
+            spec.stats = &stats;
+        }
+        spec.tracer = &tracer;
+        if (!obs::write_run_report(path, spec)) {
+            return 2;
+        }
+    }
     return report.ok() ? 0 : 1;
 }

@@ -19,6 +19,7 @@
 ///     --no-shrink       keep failing cases at full size
 ///     --no-ilp          skip the MIP cross-check
 ///     --max-failures N  stop after N divergences       (default 8)
+///     --report FILE     write the JSON run report (docs/REPORT.md)
 ///     --replay FILE.aux replay a dumped repro instead of fuzzing
 
 #include <cstdlib>
@@ -26,6 +27,7 @@
 #include <iostream>
 #include <string>
 
+#include "obs/run_report.hpp"
 #include "qa/fuzz.hpp"
 
 using namespace mrlg;
@@ -54,7 +56,8 @@ int usage() {
     std::cerr << "usage: mrlg_fuzz [--seed S] [--iters N] [--threads T]\n"
                  "       [--scenario legality|local|mll|ripup|design]\n"
                  "       [--out DIR] [--no-shrink] [--no-ilp]\n"
-                 "       [--max-failures N] | --replay repro.aux\n";
+                 "       [--max-failures N] [--report FILE]\n"
+                 "       | --replay repro.aux\n";
     return 2;
 }
 
@@ -108,7 +111,22 @@ int main(int argc, char** argv) {
         return usage();
     }
 
-    const qa::FuzzReport report = qa::run_fuzz(opts);
+    obs::Tracer tracer;
+    qa::FuzzReport report;
+    {
+        obs::ScopedTracer install(tracer);
+        report = qa::run_fuzz(opts);
+    }
     std::cout << "mrlg_fuzz seed " << opts.seed << ": " << report.summary();
+    if (const char* path = find_arg(argc, argv, "--report")) {
+        obs::RunReportSpec spec;
+        spec.tool = "mrlg_fuzz";
+        spec.design = "fuzz-seed-" + std::to_string(opts.seed);
+        spec.num_threads = opts.num_threads;
+        spec.tracer = &tracer;
+        if (!obs::write_run_report(path, spec)) {
+            return 2;
+        }
+    }
     return report.ok() ? 0 : 1;
 }
