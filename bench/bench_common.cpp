@@ -71,6 +71,8 @@ RunMetrics run_legalization(Database& db, SegmentGrid& grid,
     m.direct = stats.direct_placements;
     m.mll = stats.mll_successes;
     m.points_evaluated = stats.mll_points_evaluated;
+    m.waves = stats.waves;
+    m.conflict_requeues = stats.conflict_requeues;
 
     LegalityOptions lopts;
     lopts.check_rail_alignment = opts.mll.check_rail;

@@ -44,6 +44,8 @@ struct RunMetrics {
     std::size_t direct = 0;
     std::size_t mll = 0;
     std::size_t points_evaluated = 0;  ///< Insertion points scored by MLL.
+    std::size_t waves = 0;             ///< Plan/commit waves (0 = serial).
+    std::size_t conflict_requeues = 0; ///< Footprint-conflict deferrals.
 };
 
 /// The JSON emitter lives in the product library now (obs/json.hpp) so

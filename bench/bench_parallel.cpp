@@ -1,8 +1,17 @@
-/// bench_parallel — thread-scaling sweep of the parallel evaluation layer.
+/// bench_parallel — thread-scaling sweep of the parallel layers.
 /// For each synthesized design and evaluation mode, legalizes the same
-/// global placement at 1/2/4/8 threads, verifies the final placements are
-/// bit-identical to the serial run (the determinism contract of
-/// thread_pool.hpp), and emits a machine-readable JSON trajectory.
+/// global placement at 1/2/4/8 threads under both parallelization series:
+///
+///   intra_window    — Pipeline::kSerial: one cell at a time, parallelism
+///                     only inside each MLL's insertion-point scan;
+///   region_parallel — the plan/commit pipeline over disjoint local-region
+///                     footprints (legalize/pipeline.hpp, the default).
+///
+/// Every run is verified bit-identical to the serial baseline of its
+/// series AND to the other series (the pipeline's serial-equivalence
+/// contract), then emitted into a machine-readable JSON trajectory
+/// together with the real machine configuration — speedup numbers are
+/// meaningless without the hardware_threads that produced them.
 ///
 /// Flags:
 ///   --json PATH    output file (default BENCH_parallel.json)
@@ -13,7 +22,6 @@
 ///   --large-only   run only the largest design
 
 #include <iostream>
-#include <thread>
 
 #include "bench_common.hpp"
 #include "eval/metrics.hpp"
@@ -65,6 +73,11 @@ std::vector<std::pair<SiteCoord, SiteCoord>> snapshot(const Database& db) {
     return pos;
 }
 
+struct Series {
+    const char* name;
+    LegalizerOptions::Pipeline pipeline;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,12 +105,21 @@ int main(int argc, char** argv) {
     if (!args.has_flag("--approx-only")) {
         modes.push_back(true);
     }
+    const Series series[] = {
+        {"intra_window", LegalizerOptions::Pipeline::kSerial},
+        {"region_parallel", LegalizerOptions::Pipeline::kRegionParallel},
+    };
 
     Json root = Json::object();
     root.set("bench", Json::str("bench_parallel"));
-    root.set("hardware_threads",
-             Json::num(static_cast<std::int64_t>(
-                 std::thread::hardware_concurrency())));
+    const ThreadPoolConfig tp = ThreadPool::config();
+    root.set("hardware_threads", Json::num(tp.hardware_threads));
+    Json tpj = Json::object();
+    tpj.set("hardware_threads", Json::num(tp.hardware_threads));
+    tpj.set("default_threads", Json::num(tp.default_threads));
+    tpj.set("pool_workers", Json::num(tp.pool_workers));
+    tpj.set("mrlg_threads_env", Json::boolean(tp.env_override));
+    root.set("thread_pool", std::move(tpj));
     root.set("scale", Json::num(scale));
     root.set("seed_offset", Json::num(static_cast<std::int64_t>(seed_offset)));
     Json runs = Json::array();
@@ -119,48 +141,63 @@ int main(int argc, char** argv) {
         const std::size_t num_cells = db.num_cells();
 
         for (const bool exact : modes) {
-            std::vector<std::pair<SiteCoord, SiteCoord>> serial_pos;
-            double serial_time = 0.0;
-            for (const int t : threads) {
-                reset_placement(db, grid);
-                LegalizerOptions opts;
-                opts.seed = profile.seed;
-                opts.num_threads = t;
-                opts.mll.exact_evaluation = exact;
-                const RunMetrics m = run_legalization(db, grid, opts);
-                const auto pos = snapshot(db);
-                bool identical = true;
-                if (t == threads.front()) {
-                    serial_pos = pos;
-                    serial_time = m.runtime_s;
-                } else {
-                    identical = pos == serial_pos;
-                }
-                const double speedup =
-                    m.runtime_s > 0.0 ? serial_time / m.runtime_s : 0.0;
-                std::cerr << spec.name << " ["
-                          << (exact ? "exact" : "approx") << "] t=" << t
-                          << ": " << format_fixed(m.runtime_s, 3) << "s"
-                          << " speedup=" << format_fixed(speedup, 2)
-                          << (identical ? "" : "  MISMATCH") << "\n";
+            // Reference placement: the serial path at 1 thread. Every run
+            // of every series must reproduce it bit for bit.
+            std::vector<std::pair<SiteCoord, SiteCoord>> reference_pos;
+            for (const Series& s : series) {
+                double baseline_time = 0.0;
+                for (const int t : threads) {
+                    reset_placement(db, grid);
+                    LegalizerOptions opts;
+                    opts.seed = profile.seed;
+                    opts.num_threads = t;
+                    opts.pipeline = s.pipeline;
+                    opts.mll.exact_evaluation = exact;
+                    const RunMetrics m = run_legalization(db, grid, opts);
+                    const auto pos = snapshot(db);
+                    if (reference_pos.empty()) {
+                        reference_pos = pos;
+                    }
+                    if (t == threads.front()) {
+                        baseline_time = m.runtime_s;
+                    }
+                    const bool identical = pos == reference_pos;
+                    const double speedup =
+                        m.runtime_s > 0.0 ? baseline_time / m.runtime_s
+                                          : 0.0;
+                    std::cerr << spec.name << " ["
+                              << (exact ? "exact" : "approx") << "/"
+                              << s.name << "] t=" << t << ": "
+                              << format_fixed(m.runtime_s, 3) << "s"
+                              << " speedup=" << format_fixed(speedup, 2)
+                              << (identical ? "" : "  MISMATCH") << "\n";
 
-                Json run = Json::object();
-                run.set("design", Json::str(spec.name));
-                run.set("cells", Json::num(num_cells));
-                run.set("mode", Json::str(exact ? "exact" : "approx"));
-                run.set("threads", Json::num(static_cast<std::int64_t>(t)));
-                run.set("legalize_s", Json::num(m.runtime_s));
-                run.set("success", Json::boolean(m.success));
-                run.set("points_evaluated", Json::num(m.points_evaluated));
-                run.set("disp_avg_sites", Json::num(m.disp_avg_sites));
-                run.set("dhpwl_pct", Json::num(m.dhpwl_pct));
-                run.set("speedup_vs_serial", Json::num(speedup));
-                run.set("identical_to_serial", Json::boolean(identical));
-                runs.push(std::move(run));
-                if (!identical) {
-                    std::cerr << "FATAL: thread count changed the placement"
-                              << "\n";
-                    return 1;
+                    Json run = Json::object();
+                    run.set("design", Json::str(spec.name));
+                    run.set("cells", Json::num(num_cells));
+                    run.set("mode", Json::str(exact ? "exact" : "approx"));
+                    run.set("series", Json::str(s.name));
+                    run.set("threads",
+                            Json::num(static_cast<std::int64_t>(t)));
+                    run.set("legalize_s", Json::num(m.runtime_s));
+                    run.set("success", Json::boolean(m.success));
+                    run.set("points_evaluated",
+                            Json::num(m.points_evaluated));
+                    run.set("waves", Json::num(m.waves));
+                    run.set("conflict_requeues",
+                            Json::num(m.conflict_requeues));
+                    run.set("disp_avg_sites", Json::num(m.disp_avg_sites));
+                    run.set("dhpwl_pct", Json::num(m.dhpwl_pct));
+                    run.set("speedup_vs_serial", Json::num(speedup));
+                    run.set("identical_to_serial",
+                            Json::boolean(identical));
+                    runs.push(std::move(run));
+                    if (!identical) {
+                        std::cerr << "FATAL: run diverged from the serial "
+                                     "placement (series="
+                                  << s.name << " threads=" << t << ")\n";
+                        return 1;
+                    }
                 }
             }
         }

@@ -1,0 +1,74 @@
+#include "check/audit_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace mrlg {
+
+namespace {
+
+std::string footprint_str(const PlannedFootprint& fp) {
+    std::ostringstream os;
+    os << "cell " << fp.cell << " rows " << fp.rows << " x " << fp.x;
+    return os.str();
+}
+
+}  // namespace
+
+AuditReport audit_plan_batch(const std::vector<PlannedFootprint>& batch) {
+    AuditReport report;
+    report.scope = "plan-batch";
+    // Sweep over footprints sorted by x.lo: a pair can only overlap while
+    // the earlier one's x.hi reaches past the later one's x.lo, so each
+    // footprint is compared against a shrinking active set.
+    std::vector<std::size_t> order(batch.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return batch[a].x.lo < batch[b].x.lo ||
+               (batch[a].x.lo == batch[b].x.lo && a < b);
+    });
+    std::vector<std::size_t> active;
+    for (const std::size_t i : order) {
+        const PlannedFootprint& fp = batch[i];
+        std::size_t keep = 0;
+        for (const std::size_t j : active) {
+            const PlannedFootprint& other = batch[j];
+            if (other.x.hi <= fp.x.lo) {
+                continue;  // retire: cannot overlap anything further right
+            }
+            active[keep++] = j;
+            if (other.rows.overlaps(fp.rows)) {
+                std::ostringstream os;
+                os << footprint_str(other) << " overlaps "
+                   << footprint_str(fp);
+                report.add("plan-batch-disjoint", os.str());
+            }
+        }
+        active.resize(keep);
+        active.push_back(i);
+    }
+    return report;
+}
+
+AuditReport audit_plan_writes(const PlannedFootprint& fp,
+                              const std::vector<Rect>& writes) {
+    AuditReport report;
+    report.scope = "plan-writes";
+    for (const Rect& w : writes) {
+        if (w.empty()) {
+            continue;
+        }
+        if (!fp.rows.contains(w.y_span()) || !fp.x.contains(w.x_span())) {
+            std::ostringstream os;
+            os << "write " << w << " escapes footprint of "
+               << footprint_str(fp);
+            report.add("plan-write-containment", os.str());
+        }
+    }
+    return report;
+}
+
+}  // namespace mrlg

@@ -1,0 +1,41 @@
+#pragma once
+/// \file audit_plan.hpp
+/// Invariant audits for the legalizer's region-parallel plan/commit
+/// pipeline (legalize/pipeline.hpp). The pipeline's serial-equivalence
+/// argument rests on two geometric invariants, re-checked here from
+/// scratch so a footprint-construction bug is caught at the wave that
+/// introduced it:
+///
+///  * batch disjointness — the footprints of one wave's batch are pairwise
+///    disjoint (checked at kCheap and above);
+///  * write containment — every rectangle a committed plan writes lies
+///    inside the footprint the cell claimed (checked at kFull).
+///
+/// Kept geometry-only (spans/rects, no legalizer types) so check/ stays
+/// below legalize/ in the layering.
+
+#include <vector>
+
+#include "check/audit.hpp"
+#include "util/geometry.hpp"
+
+namespace mrlg {
+
+/// One batched cell's claimed footprint, as absolute row/x spans.
+struct PlannedFootprint {
+    std::int32_t cell = -1;  ///< CellId value, for the audit message.
+    Span rows;
+    Span x;
+};
+
+/// Verifies the batch's footprints are pairwise disjoint (a footprint
+/// overlaps another iff both the row and x spans overlap). Sweep over
+/// x-sorted footprints, so typical batches audit in O(n log n).
+AuditReport audit_plan_batch(const std::vector<PlannedFootprint>& batch);
+
+/// Verifies every write rectangle of one committed plan lies inside the
+/// footprint its cell claimed.
+AuditReport audit_plan_writes(const PlannedFootprint& fp,
+                              const std::vector<Rect>& writes);
+
+}  // namespace mrlg

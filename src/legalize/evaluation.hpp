@@ -10,6 +10,13 @@
 ///     positions of the <= 2·h_t immediate neighbours only, O(h_t);
 ///   * evaluate_insertion_point_exact  — critical positions of every local
 ///     cell via the push-chain recursion over the neighbour DAG, O(|C_W|).
+///
+/// Concurrency contract: both evaluators are pure functions of the
+/// LocalProblem plus their scratch argument — no globals, no Database
+/// access. They already run concurrently across insertion points of one
+/// problem (PR-1 intra-window parallelism) and, since the plan/commit
+/// pipeline, across whole problems on distinct worker threads; each thread
+/// must bring its own scratch.
 
 #include <optional>
 #include <vector>

@@ -4,13 +4,16 @@
 #include <cmath>
 
 #include "check/audit.hpp"
+#include "check/audit_plan.hpp"
 #include "eval/legality.hpp"
 #include "legalize/greedy.hpp"
+#include "legalize/pipeline.hpp"
 #include "legalize/ripup.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace mrlg {
@@ -175,7 +178,7 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
             ropts.mll = mll_opts;
             ropts.audit = audit;
             const RipupResult rr = ripup_place(db, grid, c, cell.gp_x(),
-                                               cell.gp_y(), ropts);
+                                               cell.gp_y(), ropts, &scratch);
             if (rr.success) {
                 ++stats.ripup_placements;
                 audit_grid(AuditLevel::kFull);  // post-transaction
@@ -185,30 +188,313 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
         return false;
     };
 
-    // Round 1: input positions (Algorithm 1 lines 2-7). Later rounds:
-    // growing random offsets (lines 9-17).
-    for (int round = 1; !unplaced.empty() && round <= opts.max_rounds;
-         ++round) {
-        MRLG_OBS_PHASE("round");
-        stats.rounds = round;
-        std::vector<CellId> still_unplaced;
-        for (const CellId c : unplaced) {
+    // ---- region-parallel plan/commit pipeline state -----------------------
+    // Footprint padding must cover any movable cell a plan might read (see
+    // compute_attempt_footprint); fixed cells are frozen into the segments
+    // and never appear in the lists, so the movable maximum suffices.
+    SiteCoord max_cell_width = 1;
+    for (const CellId c : db.movable_cells()) {
+        max_cell_width = std::max(max_cell_width, db.cell(c).width());
+    }
+    // Ledger claims are clamped to the die: no cell or segment exists
+    // outside it, so footprint slices out there cannot carry conflicts.
+    const Rect die = db.floorplan().die();
+    const Span die_x{die.x, static_cast<SiteCoord>(die.x + die.w)};
+    // Planning runs many MLL problems concurrently, so each one scans its
+    // insertion points serially — fan-out lives at the cell level here.
+    MllOptions plan_opts = mll_opts;
+    plan_opts.num_threads = 1;
+    FootprintLedger ledger;
+    std::vector<PlanTask> tasks;
+    std::vector<std::size_t> pending;
+    std::vector<std::size_t> batch;
+    std::vector<std::size_t> deferred;
+
+    // Re-emits the per-attempt mll.* counters a serial mll_place would
+    // have produced for this (final) plan. The plan pass runs with the
+    // tracer paused (workers must not touch it — see obs::TracerPause), so
+    // the orchestrator replays the aggregate in commit order.
+    auto emit_attempt_counters = [&](const MllPlan& plan) {
+        MRLG_OBS_COUNT("mll.attempts", 1);
+        if (plan.status == MllStatus::kNoRegion) {
+            MRLG_OBS_COUNT("mll.no_region", 1);
+            return;
+        }
+        if (plan.enumeration_truncated) {
+            MRLG_OBS_COUNT("mll.enumerations_truncated", 1);
+        }
+        if (!plan_opts.use_mip && plan.num_points > 0) {
+            MRLG_OBS_COUNT("mll.points_evaluated", plan.num_points);
+        }
+        if (plan.status == MllStatus::kNoInsertionPoint) {
+            MRLG_OBS_COUNT("mll.no_insertion_point", 1);
+        }
+    };
+
+    auto task_footprint = [](const PlanTask& t) {
+        return PlannedFootprint{t.cell.value(), t.footprint.rows,
+                                t.footprint.x};
+    };
+
+    // One retry round run as plan/commit waves (pipeline.hpp documents the
+    // serial-equivalence argument). Returns the cells the round failed to
+    // place, in queue order — exactly the serial loop's still_unplaced.
+    auto run_pipelined_round = [&](int round,
+                                   const std::vector<CellId>& queue) {
+        const std::size_t points_before = stats.mll_points_evaluated;
+        // Build the round's tasks in queue order. This draws the round's
+        // jitter exactly as the serial loop would: two uniforms per cell,
+        // queue order, so the Rng stream stays bit-identical.
+        tasks.clear();
+        tasks.reserve(queue.size());
+        for (const CellId c : queue) {
             const Cell& cell = db.cell(c);
-            double px = cell.gp_x();
-            double py = cell.gp_y();
+            PlanTask t;
+            t.cell = c;
+            t.px = cell.gp_x();
+            t.py = cell.gp_y();
             if (round > 1) {
                 const SiteCoord range_x =
                     static_cast<SiteCoord>(opts.mll.rx) * (round - 1);
                 const SiteCoord range_y =
                     static_cast<SiteCoord>(opts.mll.ry) * (round - 1);
-                px += static_cast<double>(rng.uniform(-range_x, range_x));
-                py += static_cast<double>(rng.uniform(-range_y, range_y));
+                t.px +=
+                    static_cast<double>(rng.uniform(-range_x, range_x));
+                t.py +=
+                    static_cast<double>(rng.uniform(-range_y, range_y));
             }
-            if (!try_place(c, px, py,
-                           round >= opts.free_slot_fallback_round,
-                           opts.enable_ripup &&
-                               round >= opts.free_slot_fallback_round + 2)) {
-                still_unplaced.push_back(c);
+            const Point p = nearest_aligned_position(db, c, t.px, t.py,
+                                                     mll_opts.check_rail);
+            t.fitted = Rect{p.x, p.y, cell.width(), cell.height()};
+            t.rail_ok =
+                !mll_opts.check_rail ||
+                rail_compatible(p.y, cell.height(), cell.rail_phase());
+            // The MLL window of paper §3, anchored like mll_plan's.
+            const SiteCoord ax =
+                static_cast<SiteCoord>(std::lround(t.px));
+            const SiteCoord ay =
+                static_cast<SiteCoord>(std::lround(t.py));
+            const Rect window{
+                static_cast<SiteCoord>(ax - mll_opts.rx),
+                static_cast<SiteCoord>(ay - mll_opts.ry),
+                static_cast<SiteCoord>(2 * mll_opts.rx + cell.width()),
+                static_cast<SiteCoord>(2 * mll_opts.ry + cell.height())};
+            t.footprint =
+                compute_attempt_footprint(window, t.fitted, max_cell_width);
+            tasks.push_back(std::move(t));
+        }
+        pending.resize(tasks.size());
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+            pending[i] = i;
+        }
+        const std::size_t num_rows =
+            static_cast<std::size_t>(db.floorplan().num_rows());
+
+        while (!pending.empty()) {
+            MRLG_OBS_PHASE("wave");
+            ++stats.waves;
+            {
+                MRLG_OBS_PHASE("partition");
+                ledger.reset(num_rows, die_x);
+                partition_wave(tasks, pending, ledger, batch, deferred);
+            }
+            stats.conflict_requeues += deferred.size();
+            MRLG_OBS_OBSERVE("legalize.batch_size",
+                             static_cast<double>(batch.size()));
+            for (const std::size_t idx : batch) {
+                tasks[idx].state = PlanTask::State::kInBatch;
+            }
+
+            {
+                MRLG_OBS_PHASE("plan");
+                // Workers execute instrumented MLL code; the ambient
+                // tracer is not thread-safe, so it pauses for the whole
+                // fan-out — at every thread count, keeping the emitted
+                // metrics configuration-independent.
+                obs::TracerPause pause;
+                parallel_for(
+                    batch.size(), /*grain=*/1, opts.num_threads,
+                    [&](std::size_t begin, std::size_t end) {
+                        thread_local MllScratch plan_scratch;
+                        for (std::size_t i = begin; i < end; ++i) {
+                            PlanTask& t = tasks[batch[i]];
+                            const Cell& cell = db.cell(t.cell);
+                            t.direct =
+                                t.rail_ok &&
+                                grid.placeable(db, t.fitted, CellId{},
+                                               cell.region());
+                            if (!t.direct) {
+                                t.plan = mll_plan(db, grid, t.cell, t.px,
+                                                  t.py, plan_opts,
+                                                  &plan_scratch);
+                            }
+                        }
+                    });
+            }
+
+            if (audit >= AuditLevel::kCheap) {
+                // The partition promised these footprints are pairwise
+                // disjoint; re-derive that from scratch before trusting
+                // the plans (check/audit_plan.hpp).
+                std::vector<PlannedFootprint> fps;
+                fps.reserve(batch.size());
+                for (const std::size_t idx : batch) {
+                    fps.push_back(task_footprint(tasks[idx]));
+                }
+                ++stats.audits_run;
+                enforce(audit_plan_batch(fps));
+            }
+
+            {
+                MRLG_OBS_PHASE("commit");
+                std::size_t resolved = 0;
+                for (const std::size_t idx : batch) {
+                    PlanTask& t = tasks[idx];
+                    const Cell& cell = db.cell(t.cell);
+                    if (t.direct) {
+                        // Revalidate against the live grid (defensive:
+                        // batch disjointness makes staleness impossible).
+                        if (grid.placeable(db, t.fitted, CellId{},
+                                           cell.region())) {
+                            grid.place(db, t.cell, t.fitted.x, t.fitted.y);
+                            ++stats.direct_placements;
+                            t.state = PlanTask::State::kPlaced;
+                            ++resolved;
+                            audit_grid(AuditLevel::kFull);
+                        } else {
+                            t.state = PlanTask::State::kPending;
+                            ++stats.conflict_requeues;
+                            MRLG_OBS_COUNT("legalize.plan_invalidated", 1);
+                        }
+                        continue;
+                    }
+                    if (t.plan.success()) {
+                        const MllResult r =
+                            mll_commit(db, grid, t.cell, t.plan);
+                        if (r.status == MllStatus::kPlanInvalidated) {
+                            // Counters for this attempt stay unemitted —
+                            // the cell re-plans next wave and only the
+                            // final attempt is accounted, like serial.
+                            t.state = PlanTask::State::kPending;
+                            ++stats.conflict_requeues;
+                            MRLG_OBS_COUNT("legalize.plan_invalidated", 1);
+                            continue;
+                        }
+                        emit_attempt_counters(t.plan);
+                        stats.mll_points_evaluated += t.plan.num_points;
+                        ++stats.mll_successes;
+                        MRLG_OBS_OBSERVE("legalize.mll_real_cost_um",
+                                         r.real_cost_um);
+                        if (audit >= AuditLevel::kFull) {
+                            // Commit writes must stay inside the claimed
+                            // footprint (the other half of the pipeline's
+                            // correctness argument).
+                            std::vector<Rect> writes;
+                            writes.push_back(Rect{r.x, r.y, cell.width(),
+                                                  cell.height()});
+                            for (const MllPlan::Move& m : t.plan.moves) {
+                                const Cell& mc = db.cell(m.id);
+                                const SiteCoord lo =
+                                    std::min(m.old_x, m.new_x);
+                                const SiteCoord hi = static_cast<SiteCoord>(
+                                    std::max(m.old_x, m.new_x) +
+                                    mc.width());
+                                writes.push_back(Rect{lo, mc.y(),
+                                                      static_cast<SiteCoord>(
+                                                          hi - lo),
+                                                      mc.height()});
+                            }
+                            ++stats.audits_run;
+                            enforce(audit_plan_writes(task_footprint(t),
+                                                      writes));
+                        }
+                        t.state = PlanTask::State::kPlaced;
+                        ++resolved;
+                        audit_grid(AuditLevel::kFull);
+                    } else {
+                        emit_attempt_counters(t.plan);
+                        stats.mll_points_evaluated += t.plan.num_points;
+                        ++stats.mll_failures;
+                        t.state = PlanTask::State::kFailed;
+                        ++resolved;
+                    }
+                }
+                MRLG_ASSERT(resolved > 0,
+                            "plan/commit wave made no progress");
+            }
+
+            // Next wave: everything still pending (partition deferrals and
+            // the defensive invalidation requeues), in queue order.
+            std::vector<std::size_t> next;
+            for (std::size_t i = 0; i < tasks.size(); ++i) {
+                if (tasks[i].state == PlanTask::State::kPending) {
+                    next.push_back(i);
+                }
+            }
+            MRLG_ASSERT(next.size() < pending.size(),
+                        "plan/commit waves must shrink the pending queue");
+            pending = std::move(next);
+        }
+
+        // Round-level exactness: every insertion point the final plans
+        // evaluated — and nothing else — entered the stats.
+        std::size_t expected_points = 0;
+        std::vector<CellId> still;
+        for (const PlanTask& t : tasks) {
+            if (!t.direct) {
+                expected_points += t.plan.num_points;
+            }
+            if (t.state == PlanTask::State::kFailed) {
+                still.push_back(t.cell);
+            } else {
+                MRLG_DCHECK(t.state == PlanTask::State::kPlaced,
+                            "round left a task unresolved");
+            }
+        }
+        MRLG_ASSERT(stats.mll_points_evaluated ==
+                        points_before + expected_points,
+                    "region-parallel pipeline lost insertion-point "
+                    "accounting");
+        return still;
+    };
+
+    // Round 1: input positions (Algorithm 1 lines 2-7). Later rounds:
+    // growing random offsets (lines 9-17). Early rounds run as
+    // region-parallel plan/commit waves; once the free-slot fallback (and
+    // later rip-up) engages, footprints become unbounded and the round
+    // falls back to the one-cell-at-a-time loop.
+    for (int round = 1; !unplaced.empty() && round <= opts.max_rounds;
+         ++round) {
+        MRLG_OBS_PHASE("round");
+        stats.rounds = round;
+        const bool allow_fallback = round >= opts.free_slot_fallback_round;
+        const bool allow_ripup =
+            opts.enable_ripup &&
+            round >= opts.free_slot_fallback_round + 2;
+        const bool pipelined =
+            opts.pipeline == LegalizerOptions::Pipeline::kRegionParallel &&
+            !allow_fallback && !allow_ripup;
+        std::vector<CellId> still_unplaced;
+        if (pipelined) {
+            still_unplaced = run_pipelined_round(round, unplaced);
+        } else {
+            for (const CellId c : unplaced) {
+                const Cell& cell = db.cell(c);
+                double px = cell.gp_x();
+                double py = cell.gp_y();
+                if (round > 1) {
+                    const SiteCoord range_x =
+                        static_cast<SiteCoord>(opts.mll.rx) * (round - 1);
+                    const SiteCoord range_y =
+                        static_cast<SiteCoord>(opts.mll.ry) * (round - 1);
+                    px +=
+                        static_cast<double>(rng.uniform(-range_x, range_x));
+                    py +=
+                        static_cast<double>(rng.uniform(-range_y, range_y));
+                }
+                if (!try_place(c, px, py, allow_fallback, allow_ripup)) {
+                    still_unplaced.push_back(c);
+                }
             }
         }
         unplaced = std::move(still_unplaced);
@@ -241,6 +527,8 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
     MRLG_OBS_COUNT("legalize.unplaced", stats.unplaced);
     MRLG_OBS_COUNT("legalize.points_evaluated", stats.mll_points_evaluated);
     MRLG_OBS_COUNT("legalize.audits_run", stats.audits_run);
+    MRLG_OBS_COUNT("legalize.waves", stats.waves);
+    MRLG_OBS_COUNT("legalize.conflict_requeues", stats.conflict_requeues);
     if (!stats.success) {
         MRLG_LOG(kWarn) << "legalization left " << stats.unplaced
                         << " cells unplaced after " << stats.rounds

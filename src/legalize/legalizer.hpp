@@ -53,6 +53,21 @@ struct LegalizerOptions {
     /// environment default. Results are bit-identical for any value (see
     /// thread_pool.hpp's determinism contract).
     int num_threads = 0;
+    /// Main-loop parallelization strategy.
+    enum class Pipeline {
+        /// One cell at a time; parallelism only inside each MLL's
+        /// insertion-point scan (the PR-1 intra-window layer).
+        kSerial,
+        /// Plan/commit waves over disjoint local-region footprints
+        /// (legalize/pipeline.hpp): cells whose conservative footprints
+        /// don't overlap are planned concurrently and committed serially
+        /// in queue order. Bit-identical to kSerial at every thread count
+        /// by construction; rounds that enable the free-slot fallback or
+        /// rip-up (both have unbounded footprints) fall back to the
+        /// serial loop automatically.
+        kRegionParallel,
+    };
+    Pipeline pipeline = Pipeline::kRegionParallel;
     /// Invariant-audit level for the run; defaults to the MRLG_VALIDATE
     /// environment level (off when unset, so production runs pay nothing).
     /// kCheap audits the database and segment grid after setup, after
@@ -83,6 +98,16 @@ struct LegalizerStats {
     /// Invariant audits executed by this run's hooks (0 when auditing is
     /// off); lets callers and tests confirm the hooks actually fired.
     std::size_t audits_run = 0;
+    /// Plan/commit waves executed by the region-parallel pipeline (0 under
+    /// Pipeline::kSerial). A round with no footprint conflicts is one
+    /// wave; a fully-conflicting round degrades to one wave per cell.
+    std::size_t waves = 0;
+    /// Cells pushed to a later wave because their footprint overlapped an
+    /// earlier pending cell's claim (plus the — by construction
+    /// unreachable — commit-time invalidation requeues). Pipeline-health
+    /// signal: high values mean the batches are thin and the round is
+    /// effectively serial.
+    std::size_t conflict_requeues = 0;
     int rounds = 0;
     double runtime_s = 0.0;
 };

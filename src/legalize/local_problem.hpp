@@ -4,6 +4,13 @@
 /// stages (min/max placement, interval construction, enumeration,
 /// evaluation, realization) operate on this structure; the Database is only
 /// touched when a chosen solution is committed.
+///
+/// Concurrency contract: build() reads the Database/SegmentGrid without
+/// mutating them, and every buffer it fills lives in the LocalProblem or
+/// the caller-supplied scratch. The legalizer's region-parallel plan phase
+/// relies on this to build many LocalProblems concurrently against the
+/// shared grid — one LocalProblem + scratch per worker thread, never
+/// shared across threads.
 
 #include <unordered_map>
 #include <vector>

@@ -71,6 +71,19 @@ std::optional<std::size_t> pick_piece(const std::vector<Span>& pieces,
 
 }  // namespace
 
+AttemptFootprint compute_attempt_footprint(const Rect& window,
+                                           const Rect& fitted,
+                                           SiteCoord max_cell_width) {
+    const SiteCoord pad = std::max<SiteCoord>(max_cell_width - 1, 0);
+    AttemptFootprint fp;
+    fp.rows = Span{std::min(window.y, fitted.y),
+                   std::max(window.y_hi(), fitted.y_hi())};
+    fp.x = Span{static_cast<SiteCoord>(std::min(window.x, fitted.x) - pad),
+                static_cast<SiteCoord>(
+                    std::max(window.x_hi(), fitted.x_hi()) + pad)};
+    return fp;
+}
+
 LocalRegion extract_local_region(const Database& db, const SegmentGrid& grid,
                                  const Rect& window, int fence_region,
                                  LocalRegionScratch* scratch) {

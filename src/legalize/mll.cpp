@@ -79,12 +79,12 @@ ScanBest scan_insertion_points(const LocalProblem& lp,
 
 }  // namespace
 
-MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
-                    double pref_x, double pref_y, const MllOptions& opts,
-                    MllScratch* scratch) {
+MllPlan mll_plan(const Database& db, const SegmentGrid& grid,
+                 CellId target_cell, double pref_x, double pref_y,
+                 const MllOptions& opts, MllScratch* scratch) {
     MRLG_OBS_PHASE("mll");
     MRLG_OBS_COUNT("mll.attempts", 1);
-    MllResult res;
+    MllPlan res;
     const Cell& cell = db.cell(target_cell);
     MRLG_ASSERT(!cell.placed(), "MLL target must be unplaced");
     MRLG_ASSERT(!cell.fixed(), "MLL target must be movable");
@@ -197,22 +197,18 @@ MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
         realize_insertion(lp, *best_point, best_eval.xt, target.w);
     MRLG_ASSERT(real.ok, "realization failed for an enumerated point");
 
-    // Commit: shift moved local cells (row lists keep their order), then
-    // register the target.
+    // Record the would-be commit: shifted local cells (row lists keep
+    // their order) and the target slot. Nothing is mutated here.
     for (int i = 0; i < lp.num_cells(); ++i) {
         const LpCell& c = lp.cell(i);
         const SiteCoord nx = real.new_x[static_cast<std::size_t>(i)];
         if (nx != c.x) {
-            db.cell(c.id).set_x(nx);
-            res.moved.emplace_back(c.id, c.x);
+            res.moves.push_back(MllPlan::Move{c.id, c.x, nx});
         }
     }
     const SiteCoord y_abs = lp.y0() + best_point->k0;
-    grid.place(db, target_cell, real.xt, y_abs);
 
     res.status = MllStatus::kSuccess;
-    MRLG_OBS_COUNT("mll.commits", 1);
-    MRLG_OBS_COUNT("mll.cells_shifted", res.moved.size());
     res.x = real.xt;
     res.y = y_abs;
     res.est_cost_um = best_eval.cost_um;
@@ -220,6 +216,80 @@ MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
         real.moved_sites * lp.site_w_um() +
         std::abs(static_cast<double>(real.xt) - pref_x) * lp.site_w_um() +
         std::abs(static_cast<double>(y_abs) - pref_y) * lp.site_h_um();
+    return res;
+}
+
+MllResult mll_result_from_plan(const MllPlan& plan) {
+    MllResult res;
+    res.status = plan.status;
+    res.x = plan.x;
+    res.y = plan.y;
+    res.est_cost_um = plan.est_cost_um;
+    res.real_cost_um = plan.real_cost_um;
+    res.num_points = plan.num_points;
+    res.num_local_cells = plan.num_local_cells;
+    res.enumeration_truncated = plan.enumeration_truncated;
+    res.moved.reserve(plan.moves.size());
+    for (const MllPlan::Move& m : plan.moves) {
+        res.moved.emplace_back(m.id, m.old_x);
+    }
+    return res;
+}
+
+MllResult mll_commit(Database& db, SegmentGrid& grid, CellId target_cell,
+                     const MllPlan& plan) {
+    MRLG_ASSERT(plan.success(), "can only commit a successful MLL plan");
+    const Cell& target = db.cell(target_cell);
+    MRLG_ASSERT(!target.placed(), "MLL commit target must be unplaced");
+
+    // Validation pass 1: every move base must still hold (a shifted base
+    // means another commit touched this plan's footprint).
+    bool stale = false;
+    for (const MllPlan::Move& m : plan.moves) {
+        const Cell& c = db.cell(m.id);
+        if (!c.placed() || c.x() != m.old_x) {
+            stale = true;
+            break;
+        }
+    }
+    if (!stale) {
+        // Apply the shifts, then validation pass 2: the target slot must
+        // be free. Shifts restore exactly on failure (set_x only).
+        for (const MllPlan::Move& m : plan.moves) {
+            db.cell(m.id).set_x(m.new_x);
+        }
+        const Rect slot{plan.x, plan.y, target.width(), target.height()};
+        if (grid.placeable(db, slot, CellId{}, target.region())) {
+            grid.place(db, target_cell, plan.x, plan.y);
+            MllResult res = mll_result_from_plan(plan);
+            MRLG_OBS_COUNT("mll.commits", 1);
+            MRLG_OBS_COUNT("mll.cells_shifted", res.moved.size());
+            return res;
+        }
+        for (const MllPlan::Move& m : plan.moves) {
+            db.cell(m.id).set_x(m.old_x);
+        }
+    }
+    MllResult res;
+    res.status = MllStatus::kPlanInvalidated;
+    res.num_points = plan.num_points;
+    res.num_local_cells = plan.num_local_cells;
+    res.enumeration_truncated = plan.enumeration_truncated;
+    return res;
+}
+
+MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
+                    double pref_x, double pref_y, const MllOptions& opts,
+                    MllScratch* scratch) {
+    const MllPlan plan =
+        mll_plan(db, grid, target_cell, pref_x, pref_y, opts, scratch);
+    if (!plan.success()) {
+        return mll_result_from_plan(plan);
+    }
+    MllResult res = mll_commit(db, grid, target_cell, plan);
+    // With no interleaved mutation a plan can never be stale.
+    MRLG_ASSERT(res.status != MllStatus::kPlanInvalidated,
+                "mll plan invalidated immediately after planning");
     return res;
 }
 

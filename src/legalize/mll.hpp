@@ -8,6 +8,12 @@
 /// (neighbour approximation by default, exact optionally) → realization of
 /// the best point → commit to the database/segment grid.
 /// On failure nothing is modified (the paper's abort semantics).
+///
+/// The operation is split into a read-only planning half (mll_plan) and a
+/// mutating commit half (mll_commit) so the legalizer's region-parallel
+/// pipeline can compute many plans concurrently against a frozen grid and
+/// apply them serially in queue order. mll_place composes the two and is
+/// the drop-in serial entry point.
 
 #include "check/audit.hpp"
 #include "db/database.hpp"
@@ -59,6 +65,12 @@ enum class MllStatus {
     kSuccess,
     kNoInsertionPoint,  ///< Region extracted but no feasible point.
     kNoRegion,          ///< Window contains no usable rows.
+    /// Commit-time validation found the grid changed since the plan was
+    /// computed (stale move base or occupied target slot). Nothing was
+    /// modified; the caller re-plans from live state. Unreachable when
+    /// plans are confined to pairwise-disjoint footprints (the pipeline's
+    /// partition rule), so this is a defensive status, not a normal path.
+    kPlanInvalidated,
 };
 
 struct MllResult {
@@ -83,10 +95,54 @@ struct MllResult {
 void mll_undo(Database& db, SegmentGrid& grid, CellId target_cell,
               const MllResult& result);
 
+/// A fully-computed MLL solution that has not touched the database or the
+/// segment grid. Produced by mll_plan (read-only over db/grid), applied by
+/// mll_commit. Plans carry everything MllResult reports so a failed plan
+/// converts losslessly (mll_result_from_plan).
+struct MllPlan {
+    MllStatus status = MllStatus::kNoRegion;
+    SiteCoord x = 0;  ///< Planned target position (success only).
+    SiteCoord y = 0;
+    double est_cost_um = 0.0;
+    double real_cost_um = 0.0;
+    std::size_t num_points = 0;
+    std::size_t num_local_cells = 0;
+    bool enumeration_truncated = false;
+    /// One shifted local cell. `old_x` is the position the plan was
+    /// computed against; commit validates it before applying `new_x`.
+    struct Move {
+        CellId id;
+        SiteCoord old_x = 0;
+        SiteCoord new_x = 0;
+    };
+    std::vector<Move> moves;  ///< Shifted cells, row-list order.
+
+    bool success() const { return status == MllStatus::kSuccess; }
+};
+
+/// Read-only planning half of MLL: computes where `target_cell` (must be
+/// unplaced) would be inserted near (pref_x, pref_y) and which local cells
+/// would shift, without mutating `db` or `grid`. Safe to run concurrently
+/// with other mll_plan calls on the same db/grid as long as nothing
+/// mutates them; pass a per-thread scratch.
+MllPlan mll_plan(const Database& db, const SegmentGrid& grid,
+                 CellId target_cell, double pref_x, double pref_y,
+                 const MllOptions& opts = {}, MllScratch* scratch = nullptr);
+
+/// Applies a successful plan: validates it against the live grid (every
+/// move base unchanged, target slot placeable after the shifts), then
+/// shifts the moved cells and registers the target. On stale state nothing
+/// is modified and the result carries MllStatus::kPlanInvalidated.
+MllResult mll_commit(Database& db, SegmentGrid& grid, CellId target_cell,
+                     const MllPlan& plan);
+
+/// Converts a plan (typically a failed one) to the equivalent MllResult.
+MllResult mll_result_from_plan(const MllPlan& plan);
+
 /// Places `target_cell` (must be unplaced) as close as possible to the
 /// preferred fractional position (pref_x, pref_y), legalizing the local
 /// neighbourhood. Commits on success; leaves everything untouched on
-/// failure.
+/// failure. Equivalent to mll_plan immediately followed by mll_commit.
 MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
                     double pref_x, double pref_y,
                     const MllOptions& opts = {},

@@ -42,7 +42,7 @@ void rollback(Database& db, SegmentGrid& grid, std::vector<Step>& steps) {
 
 RipupResult ripup_place(Database& db, SegmentGrid& grid, CellId target,
                         double pref_x, double pref_y,
-                        const RipupOptions& opts) {
+                        const RipupOptions& opts, MllScratch* scratch) {
     MRLG_OBS_PHASE("ripup");
     MRLG_OBS_COUNT("ripup.attempts", 1);
     RipupResult res;
@@ -161,7 +161,7 @@ RipupResult ripup_place(Database& db, SegmentGrid& grid, CellId target,
                 const Cell& vc = db.cell(v);
                 const double vx = vc.gp_x();
                 const double vy = vc.gp_y();
-                MllResult r = mll_place(db, grid, v, vx, vy, opts.mll);
+                MllResult r = mll_place(db, grid, v, vx, vy, opts.mll, scratch);
                 if (!r.success()) {
                     all_back = false;
                     break;

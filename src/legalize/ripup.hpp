@@ -42,9 +42,12 @@ struct RipupResult {
 };
 
 /// Places the unplaced `target` near (pref_x, pref_y) by transactional
-/// rip-up. On failure the placement is bit-for-bit unchanged.
+/// rip-up. On failure the placement is bit-for-bit unchanged. `scratch`
+/// (optional) is forwarded to the internal re-insertion MLL calls so a
+/// caller's per-thread buffers are reused across victims.
 RipupResult ripup_place(Database& db, SegmentGrid& grid, CellId target,
                         double pref_x, double pref_y,
-                        const RipupOptions& opts = {});
+                        const RipupOptions& opts = {},
+                        MllScratch* scratch = nullptr);
 
 }  // namespace mrlg

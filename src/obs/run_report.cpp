@@ -3,10 +3,20 @@
 #include <cstring>
 
 #include "eval/report.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mrlg::obs {
 
 namespace {
+
+const char* to_string(LegalizerOptions::Pipeline pipeline) {
+    switch (pipeline) {
+        case LegalizerOptions::Pipeline::kSerial: return "serial";
+        case LegalizerOptions::Pipeline::kRegionParallel:
+            return "region_parallel";
+    }
+    return "unknown";
+}
 
 const char* to_string(LegalizerOptions::Order order) {
     switch (order) {
@@ -25,6 +35,7 @@ Json options_json(const LegalizerOptions& o, bool check_rail,
     Json j = Json::object();
     j.set("seed", Json::num(static_cast<std::int64_t>(o.seed)));
     j.set("num_threads", Json::num(num_threads));
+    j.set("pipeline", Json::str(to_string(o.pipeline)));
     j.set("order", Json::str(to_string(o.order)));
     j.set("max_rounds", Json::num(o.max_rounds));
     j.set("free_slot_fallback_round", Json::num(o.free_slot_fallback_round));
@@ -74,6 +85,8 @@ Json stats_json(const LegalizerStats& s, bool include_wall_runtime) {
     j.set("unplaced", Json::num(s.unplaced));
     j.set("mll_points_evaluated", Json::num(s.mll_points_evaluated));
     j.set("audits_run", Json::num(s.audits_run));
+    j.set("waves", Json::num(s.waves));
+    j.set("conflict_requeues", Json::num(s.conflict_requeues));
     j.set("rounds", Json::num(s.rounds));
     if (include_wall_runtime) {
         j.set("runtime_s", Json::num(s.runtime_s));
@@ -136,6 +149,18 @@ Json make_run_report(const RunReportSpec& spec) {
     if (spec.db != nullptr && spec.grid != nullptr) {
         j.set("quality",
               quality_json(*spec.db, *spec.grid, spec.check_rail));
+    }
+    if (!deterministic) {
+        // Machine facts behind any wall-clock numbers in this report.
+        // Omitted in deterministic mode for the same reason runtime_s is:
+        // tick-clock reports must be byte-identical across machines.
+        const ThreadPoolConfig tp = ThreadPool::config();
+        Json env = Json::object();
+        env.set("hardware_threads", Json::num(tp.hardware_threads));
+        env.set("default_threads", Json::num(tp.default_threads));
+        env.set("pool_workers", Json::num(tp.pool_workers));
+        env.set("mrlg_threads_env", Json::boolean(tp.env_override));
+        j.set("environment", std::move(env));
     }
     if (tracer != nullptr) {
         j.set("metrics", tracer->to_json());

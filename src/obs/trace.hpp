@@ -111,6 +111,25 @@ private:
     Tracer* prev_;
 };
 
+/// RAII suppression of the ambient tracer. The tracer is deliberately a
+/// plain (non-thread_local) global, so instrumented code running on
+/// worker-pool threads would race on it and break the single-threaded
+/// Tracer. Parallel phases that execute instrumented code on workers (the
+/// legalizer's region-parallel plan phase) install a pause around the
+/// fan-out — on every thread-count, including 1, so the emitted metrics
+/// stay independent of the configuration — and the orchestrator re-emits
+/// the aggregated counters afterwards.
+class TracerPause {
+public:
+    TracerPause() : prev_(current_tracer()) { set_current_tracer(nullptr); }
+    ~TracerPause() { set_current_tracer(prev_); }
+    TracerPause(const TracerPause&) = delete;
+    TracerPause& operator=(const TracerPause&) = delete;
+
+private:
+    Tracer* prev_;
+};
+
 /// RAII phase span against the ambient tracer. Captures the tracer at
 /// construction so a span stays balanced even if the ambient pointer
 /// changes inside the scope.

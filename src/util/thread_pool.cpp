@@ -158,13 +158,21 @@ void ThreadPool::run_chunks(std::size_t num_chunks, int max_threads,
     }
 }
 
+namespace {
+
+/// Helper-thread count the global pool is built with. Shared with
+/// ThreadPool::config() so reporting never has to instantiate the pool.
+int global_pool_workers() {
+    const int hw = ThreadPool::default_threads();
+    // Enough helpers that an explicit 8-thread request is honored even
+    // on small machines; capped to keep oversubscription bounded.
+    return std::clamp(std::max(hw, 8), 1, 64) - 1;
+}
+
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
-    static ThreadPool pool([] {
-        const int hw = default_threads();
-        // Enough helpers that an explicit 8-thread request is honored even
-        // on small machines; capped to keep oversubscription bounded.
-        return std::clamp(std::max(hw, 8), 1, 64) - 1;
-    }());
+    static ThreadPool pool(global_pool_workers());
     return pool;
 }
 
@@ -181,6 +189,18 @@ int ThreadPool::default_threads() {
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPoolConfig ThreadPool::config() {
+    ThreadPoolConfig c;
+    const unsigned hw = std::thread::hardware_concurrency();
+    c.hardware_threads = hw == 0 ? 1 : static_cast<int>(hw);
+    c.default_threads = default_threads();
+    c.pool_workers = global_pool_workers();
+    if (const char* env = std::getenv("MRLG_THREADS")) {
+        c.env_override = std::strtol(env, nullptr, 10) > 0;
+    }
+    return c;
 }
 
 void parallel_for(std::size_t n, std::size_t grain, int num_threads,

@@ -22,6 +22,17 @@
 
 namespace mrlg {
 
+/// Snapshot of the machine/environment thread configuration, for honest
+/// reporting in benchmark JSON and (wall-clock) run reports — speedup
+/// numbers are meaningless without the real hardware_threads behind them.
+/// Pure accessors: taking a snapshot never instantiates the global pool.
+struct ThreadPoolConfig {
+    int hardware_threads = 1;  ///< std::thread::hardware_concurrency().
+    int default_threads = 1;   ///< ThreadPool::default_threads() result.
+    int pool_workers = 0;      ///< Helper threads ThreadPool::global() uses.
+    bool env_override = false; ///< MRLG_THREADS set to a positive integer.
+};
+
 class ThreadPool {
 public:
     /// Spawns `num_workers` helper threads (the calling thread of a
@@ -53,6 +64,9 @@ public:
     /// else std::thread::hardware_concurrency() (at least 1). Re-read on
     /// every call (cheap), so tests may override the environment.
     static int default_threads();
+
+    /// Current thread configuration snapshot (see ThreadPoolConfig).
+    static ThreadPoolConfig config();
 
 private:
     struct Impl;

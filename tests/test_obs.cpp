@@ -248,7 +248,8 @@ TEST(RunReport, ContainsAllBlocks) {
     for (const char* field :
          {"success", "num_cells", "direct_placements", "mll_successes",
           "mll_failures", "fallback_placements", "ripup_placements",
-          "unplaced", "mll_points_evaluated", "audits_run", "rounds"}) {
+          "unplaced", "mll_points_evaluated", "audits_run", "waves",
+          "conflict_requeues", "rounds"}) {
         EXPECT_NE(s.find("\"" + std::string(field) + "\""),
                   std::string::npos)
             << field;
@@ -258,6 +259,8 @@ TEST(RunReport, ContainsAllBlocks) {
 TEST(RunReport, DeterministicModeOmitsWallRuntime) {
     const std::string s = deterministic_report(1);
     EXPECT_EQ(s.find("\"runtime_s\""), std::string::npos);
+    // The machine-specific environment block is gated the same way.
+    EXPECT_EQ(s.find("\"environment\""), std::string::npos);
 }
 
 TEST(RunReport, WallModeIncludesRuntime) {
@@ -275,6 +278,9 @@ TEST(RunReport, WallModeIncludesRuntime) {
     const std::string s = obs::make_run_report(spec).dump();
     EXPECT_NE(s.find("\"runtime_s\""), std::string::npos);
     EXPECT_NE(s.find("\"clock\": \"wall\""), std::string::npos);
+    // Wall-clock reports carry the machine facts behind the numbers.
+    EXPECT_NE(s.find("\"environment\""), std::string::npos);
+    EXPECT_NE(s.find("\"hardware_threads\""), std::string::npos);
 }
 
 TEST(RunReport, BlocksOmittedWithoutSources) {

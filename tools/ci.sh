@@ -6,22 +6,27 @@
 #   3. clang-tidy over all translation units (MRLG_ANALYZE build)
 #   4. cppcheck over src/ and tools/
 #   5. ASan+UBSan build + full ctest suite (DCHECKs on)
-#   6. End-to-end invariant audit: mrlg_audit --gen --legalize at
+#   6. TSan build running the `parallel` label tier under MRLG_THREADS=4
+#      (the thread-count determinism properties, incl. the region-parallel
+#      plan/commit pipeline, with real worker threads racing)
+#   7. End-to-end invariant audit: mrlg_audit --gen --legalize at
 #      MRLG_VALIDATE=full must report zero audit failures
-#   7. Differential fuzz smoke: mrlg_fuzz with fixed seeds (~10 s); all
+#   8. Differential fuzz smoke: mrlg_fuzz with fixed seeds (~10 s); all
 #      oracle batteries must agree. MRLG_FUZZ_ITERS scales it up.
-#   8. Coverage: gcovr over a --coverage build running the fast unit
+#   9. Coverage: gcovr over a --coverage build running the fast unit
 #      tier (ctest -L unit); SKIPped when gcovr is not installed.
 #
-# The test suite is partitioned by ctest labels (unit/e2e/fuzz/golden);
-# `ctest --test-dir build -L unit` is the fast inner-loop tier.
+# The test suite is partitioned by ctest labels
+# (unit/e2e/fuzz/golden/parallel); `ctest --test-dir build -L unit` is the
+# fast inner-loop tier.
 #
 # Stages whose tools are not installed are SKIPped with a reason, not
 # failed: the container bakes in gcc/cmake/python3 but clang-tidy and
 # cppcheck are optional. Any stage that runs and fails fails the script.
 #
 # Usage: tools/ci.sh [--fast]
-#   --fast   skip the sanitizer rebuild (stage 5); everything else runs.
+#   --fast   skip the sanitizer rebuilds (stages 5 and 6); everything
+#            else runs.
 
 set -u
 
@@ -114,13 +119,31 @@ else
 fi
 
 # ---------------------------------------------------------------- stage 6
+if [ "$FAST" = 1 ]; then
+    skip_stage "TSan ctest -L parallel" "--fast"
+else
+    tsan_stage() {
+        # The parallel tier's determinism properties compare multi-thread
+        # runs against serial ones; under TSan with MRLG_THREADS=4 they
+        # double as data-race detectors for the plan/commit pipeline's
+        # shared-grid reads.
+        cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+            -DMRLG_SANITIZE=thread -DMRLG_DCHECKS=ON >/dev/null &&
+            cmake --build build-tsan -j "$JOBS" &&
+            MRLG_THREADS=4 ctest --test-dir build-tsan -L parallel \
+                --output-on-failure -j "$JOBS"
+    }
+    run_stage "TSan ctest -L parallel" tsan_stage
+fi
+
+# ---------------------------------------------------------------- stage 7
 audit_stage() {
     MRLG_VALIDATE=full ./build/tools/mrlg_audit --gen --singles 800 \
         --doubles 120 --seed 7 --legalize --level full
 }
 run_stage "end-to-end invariant audit (MRLG_VALIDATE=full)" audit_stage
 
-# ---------------------------------------------------------------- stage 7
+# ---------------------------------------------------------------- stage 8
 fuzz_smoke_stage() {
     # Two fixed seeds, small budget (~10 s): the point is catching oracle
     # divergences on every CI run, not deep exploration. Opt into longer
@@ -131,7 +154,7 @@ fuzz_smoke_stage() {
 }
 run_stage "fuzz-smoke (differential oracles)" fuzz_smoke_stage
 
-# ---------------------------------------------------------------- stage 8
+# ---------------------------------------------------------------- stage 9
 if command -v gcovr >/dev/null 2>&1; then
     coverage_stage() {
         # Instrumented build of the unit tier only: coverage is a trend

@@ -22,6 +22,14 @@ nondeterminism. This lint rejects the known leak paths in src/:
   ambient-rng      rand()/srand()/std::random_device/std::mt19937 outside
                    src/util/. All randomness comes from util/rng.hpp with
                    an explicit seed so runs reproduce.
+  plan-order       Any unordered container in the order-critical files of
+                   the region-parallel plan/commit pipeline (see
+                   ORDER_CRITICAL_FILES). The pipeline's serial-equivalence
+                   proof hangs on walking queues, batches, and ledger
+                   claims in deterministic order; an unordered container
+                   anywhere in those files is one refactor away from being
+                   iterated. Stricter than unordered-iter on purpose: use
+                   std::map / std::set / sorted vectors there.
 
 Suppress a deliberate use with a one-line reason on the same line or the
 line above:   // mrlg-lint: allow(<rule>) <reason>
@@ -69,6 +77,17 @@ NON_UTIL_RULES = [
         "use util/rng.hpp (explicit seed) for all randomness",
     ),
 ]
+
+# Files whose iteration order is load-bearing for the plan/commit
+# pipeline's serial-equivalence argument (legalize/pipeline.hpp). Unordered
+# containers are rejected here entirely, not just their iteration.
+ORDER_CRITICAL_FILES = (
+    os.path.join("legalize", "pipeline.hpp"),
+    os.path.join("legalize", "pipeline.cpp"),
+    os.path.join("legalize", "legalizer.cpp"),
+)
+
+UNORDERED_USE_RE = re.compile(r"unordered_(?:map|set|multimap|multiset)")
 
 UNORDERED_DECL_RE = re.compile(
     r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>[&\s]*(\w+)\s*[;={(,)]"
@@ -136,6 +155,7 @@ def lint_file(path, findings):
 
     in_util = os.sep + "util" + os.sep in path
     rules = list(GLOBAL_RULES) + ([] if in_util else NON_UTIL_RULES)
+    order_critical = path.endswith(ORDER_CRITICAL_FILES)
 
     # Pass 1: names declared as unordered containers in this file
     # (including references bound to one, the common aliasing pattern).
@@ -157,6 +177,21 @@ def lint_file(path, findings):
 
     for idx, code in enumerate(stripped):
         lineno = idx + 1
+        if (
+            order_critical
+            and UNORDERED_USE_RE.search(code)
+            and not allowed(idx, "plan-order")
+        ):
+            findings.append(
+                (
+                    path,
+                    lineno,
+                    "plan-order",
+                    "order-critical pipeline file: unordered containers "
+                    "are banned here (serial-equivalence depends on "
+                    "deterministic iteration)",
+                )
+            )
         for rule, pattern, advice in rules:
             if pattern.search(code) and not allowed(idx, rule):
                 if rule == "naked-assert" and "static_assert" in code:
