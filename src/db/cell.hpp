@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "db/types.hpp"
+#include "db/write_cap.hpp"
 #include "util/geometry.hpp"
 
 namespace mrlg {
@@ -35,12 +36,12 @@ public:
     /// 0 = the default core region; a member of fence r may only occupy
     /// placement sites of fence r, and core cells may not enter fences.
     int region() const { return region_; }
-    void set_region(int r) { region_ = r; }
+    void set_region(int r) MRLG_REQUIRES(grid_write_cap()) { region_ = r; }
 
     // --- global-placement input position (fractional site units) ---------
     double gp_x() const { return gp_x_; }
     double gp_y() const { return gp_y_; }
-    void set_gp(double x, double y) {
+    void set_gp(double x, double y) MRLG_REQUIRES(grid_write_cap()) {
         gp_x_ = x;
         gp_y_ = y;
     }
@@ -54,18 +55,20 @@ public:
     Rect rect() const { return Rect{x_, y_, w_, h_}; }
     Orient orient() const { return orient_; }
 
-    void set_pos(SiteCoord x, SiteCoord y) {
+    void set_pos(SiteCoord x, SiteCoord y) MRLG_REQUIRES(grid_write_cap()) {
         x_ = x;
         y_ = y;
         placed_ = true;
     }
-    void set_x(SiteCoord x) { x_ = x; }
-    void set_orient(Orient o) { orient_ = o; }
-    void unplace() { placed_ = false; }
+    void set_x(SiteCoord x) MRLG_REQUIRES(grid_write_cap()) { x_ = x; }
+    void set_orient(Orient o) MRLG_REQUIRES(grid_write_cap()) { orient_ = o; }
+    void unplace() MRLG_REQUIRES(grid_write_cap()) { placed_ = false; }
 
     // --- connectivity ------------------------------------------------------
     const std::vector<PinId>& pins() const { return pins_; }
-    void add_pin(PinId pin) { pins_.push_back(pin); }
+    void add_pin(PinId pin) MRLG_REQUIRES(grid_write_cap()) {
+        pins_.push_back(pin);
+    }
 
 private:
     std::string name_;

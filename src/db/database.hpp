@@ -13,6 +13,7 @@
 #include "db/cell.hpp"
 #include "db/floorplan.hpp"
 #include "db/net.hpp"
+#include "db/write_cap.hpp"
 
 namespace mrlg {
 
@@ -21,14 +22,20 @@ public:
     Database() = default;
     explicit Database(Floorplan fp) : fp_(std::move(fp)) {}
 
+    // Mutating entry points carry MRLG_REQUIRES(grid_write_cap()): only
+    // serial construction / commit phases may call them (db/write_cap.hpp).
+    // The const accessors are the plan phase's whole surface.
+
     // --- floorplan ---------------------------------------------------------
     const Floorplan& floorplan() const { return fp_; }
-    Floorplan& floorplan() { return fp_; }
+    Floorplan& floorplan() MRLG_REQUIRES(grid_write_cap()) { return fp_; }
 
     // --- cells --------------------------------------------------------------
-    CellId add_cell(Cell cell);
+    CellId add_cell(Cell cell) MRLG_REQUIRES(grid_write_cap());
     const Cell& cell(CellId id) const { return cells_[check(id)]; }
-    Cell& cell(CellId id) { return cells_[check(id)]; }
+    Cell& cell(CellId id) MRLG_REQUIRES(grid_write_cap()) {
+        return cells_[check(id)];
+    }
     const std::vector<Cell>& cells() const { return cells_; }
     std::size_t num_cells() const { return cells_.size(); }
     /// Ids of all non-fixed cells, in id order.
@@ -37,10 +44,13 @@ public:
     CellId find_cell(const std::string& name) const;
 
     // --- nets / pins ---------------------------------------------------------
-    NetId add_net(std::string name);
-    PinId add_pin(CellId cell, NetId net, double offset_x, double offset_y);
+    NetId add_net(std::string name) MRLG_REQUIRES(grid_write_cap());
+    PinId add_pin(CellId cell, NetId net, double offset_x, double offset_y)
+        MRLG_REQUIRES(grid_write_cap());
     const Net& net(NetId id) const { return nets_[check(id)]; }
-    Net& net(NetId id) { return nets_[check(id)]; }
+    Net& net(NetId id) MRLG_REQUIRES(grid_write_cap()) {
+        return nets_[check(id)];
+    }
     const std::vector<Net>& nets() const { return nets_; }
     const Pin& pin(PinId id) const { return pins_[check(id)]; }
     const std::vector<Pin>& pins() const { return pins_; }
@@ -55,7 +65,7 @@ public:
     /// Registers every fixed cell's footprint as a floorplan blockage (so
     /// SegmentGrid::build treats them as obstacles). Call once after all
     /// fixed cells have received their positions.
-    void freeze_fixed_cells();
+    void freeze_fixed_cells() MRLG_REQUIRES(grid_write_cap());
 
 private:
     std::size_t check(CellId id) const;

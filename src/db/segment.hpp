@@ -10,6 +10,7 @@
 
 #include "db/database.hpp"
 #include "db/types.hpp"
+#include "db/write_cap.hpp"
 #include "util/geometry.hpp"
 
 namespace mrlg {
@@ -69,10 +70,11 @@ public:
     /// the h covered segment lists. Requires the footprint to be contained
     /// in segments; does NOT require it to be overlap-free (MLL commits the
     /// target before pushing neighbours).
-    void place(Database& db, CellId c, SiteCoord x, SiteCoord y);
+    void place(Database& db, CellId c, SiteCoord x, SiteCoord y)
+        MRLG_REQUIRES(grid_write_cap());
 
     /// Removes a placed cell from its segment lists and marks it unplaced.
-    void remove(Database& db, CellId c);
+    void remove(Database& db, CellId c) MRLG_REQUIRES(grid_write_cap());
 
     /// Index of placed cell `c` in segment `s`'s list (by binary search on
     /// x; list order is an invariant). Asserts if absent.
@@ -91,12 +93,13 @@ public:
     /// Fault injection for the audit tests ONLY: direct write access to a
     /// segment's cell list so fixtures can break the invariants the
     /// auditors must catch. Never call from library code.
-    std::vector<CellId>& mutable_cells_for_test(SegmentId id) {
+    std::vector<CellId>& mutable_cells_for_test(SegmentId id)
+        MRLG_REQUIRES(grid_write_cap()) {
         return mutable_segment(id).cells;
     }
 
 private:
-    Segment& mutable_segment(SegmentId id);
+    Segment& mutable_segment(SegmentId id) MRLG_REQUIRES(grid_write_cap());
 
     std::vector<Segment> segments_;
     /// segment ids grouped per row; row_index_[y] .. row_index_[y+1].

@@ -10,6 +10,7 @@
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
+#include "db/write_cap.hpp"
 
 namespace mrlg {
 
@@ -67,6 +68,7 @@ std::vector<NetId> affected_nets(const Database& db, CellId target,
 
 DetailedPlacementStats detailed_place(Database& db, SegmentGrid& grid,
                                       const DetailedPlacementOptions& opts) {
+    GridWriteScope grid_write;
     MRLG_OBS_PHASE("dp.place");
     Timer timer;
     DetailedPlacementStats stats;
@@ -172,6 +174,7 @@ DetailedPlacementStats detailed_place(Database& db, SegmentGrid& grid,
 
 SwapStats swap_pass(Database& db, SegmentGrid& grid,
                     const SwapOptions& opts) {
+    GridWriteScope grid_write;
     Timer timer;
     SwapStats stats;
     NetHpwlCache cache(db);
@@ -192,6 +195,7 @@ SwapStats swap_pass(Database& db, SegmentGrid& grid,
     };
 
     auto swap_cells = [&](CellId a, CellId b) {
+        assert_grid_write_cap();
         Cell& ca = db.cell(a);
         Cell& cb = db.cell(b);
         const SiteCoord ax = ca.x();

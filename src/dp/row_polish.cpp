@@ -6,6 +6,7 @@
 
 #include "dp/net_cache.hpp"
 #include "util/assert.hpp"
+#include "db/write_cap.hpp"
 
 namespace mrlg {
 
@@ -122,6 +123,7 @@ std::vector<SiteCoord> solve_fixed_order_row(
 
 RowPolishStats row_polish(Database& db, SegmentGrid& grid,
                           const RowPolishOptions& opts) {
+    GridWriteScope grid_write;
     RowPolishStats stats;
     NetHpwlCache cache(db);
     stats.hpwl_before_um = cache.total();

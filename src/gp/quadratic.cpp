@@ -8,6 +8,7 @@
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "db/write_cap.hpp"
 
 namespace mrlg::gp {
 
@@ -48,6 +49,7 @@ void connect(SpdMatrix& a, std::vector<double>& b, const PinPos& p,
 }  // namespace
 
 QuadraticStats quadratic_place(Database& db, const QuadraticOptions& opts) {
+    GridWriteScope grid_write;
     MRLG_OBS_PHASE("gp.place");
     QuadraticStats stats;
     const Rect die = db.floorplan().die();

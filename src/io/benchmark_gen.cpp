@@ -9,6 +9,7 @@
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
+#include "db/write_cap.hpp"
 
 namespace mrlg {
 
@@ -33,6 +34,7 @@ std::size_t sample_degree(Rng& rng) {
 }  // namespace
 
 GenResult generate_benchmark(const GenProfile& p) {
+    GridWriteScope grid_write;
     Rng rng(p.seed);
 
     // ---- cells -----------------------------------------------------------

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "util/str.hpp"
+#include "db/write_cap.hpp"
 
 namespace mrlg {
 
@@ -62,6 +63,7 @@ struct SclRow {
 }  // namespace
 
 BookshelfReadResult read_bookshelf(const std::string& aux_path) {
+    GridWriteScope grid_write;
     const fs::path aux(aux_path);
     const fs::path dir = aux.parent_path();
 

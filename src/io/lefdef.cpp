@@ -8,6 +8,7 @@
 
 #include "util/assert.hpp"
 #include "util/str.hpp"
+#include "db/write_cap.hpp"
 
 namespace mrlg {
 
@@ -203,6 +204,7 @@ LefLibrary read_lef(const std::string& path) {
 }
 
 DefReadResult read_def(const std::string& path, const LefLibrary& lef) {
+    GridWriteScope grid_write;
     Cursor cur(tokenize_file(path, "DEF"), "DEF");
     DefReadResult result;
     double dbu = lef.dbu_per_micron;

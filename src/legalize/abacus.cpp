@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "util/timer.hpp"
+#include "db/write_cap.hpp"
 
 namespace mrlg {
 
@@ -105,6 +106,7 @@ struct SegmentState {
 
 AbacusStats abacus_legalize(Database& db, SegmentGrid& grid,
                             const AbacusOptions& opts) {
+    GridWriteScope grid_write;
     Timer timer;
     AbacusStats stats;
     std::vector<CellId> order = db.movable_cells();

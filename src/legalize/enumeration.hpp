@@ -19,6 +19,7 @@
 #include "legalize/insertion_interval.hpp"
 #include "legalize/local_problem.hpp"
 #include "legalize/target.hpp"
+#include "util/annotations.hpp"
 
 namespace mrlg {
 
@@ -45,6 +46,7 @@ struct EnumerationResult {
 };
 
 /// Scanline enumeration — O(#points) after sorting the endpoints.
+MRLG_EFFECT_READONLY
 EnumerationResult enumerate_insertion_points(
     const LocalProblem& lp, const std::vector<InsertionInterval>& intervals,
     const TargetSpec& target, const EnumerationOptions& opts = {});

@@ -24,6 +24,7 @@
 #include "legalize/enumeration.hpp"
 #include "legalize/local_problem.hpp"
 #include "legalize/target.hpp"
+#include "util/annotations.hpp"
 
 namespace mrlg {
 
@@ -77,6 +78,7 @@ std::pair<SiteCoord, double> minimize_hinge_cost(const HingeSet& hinges,
                                                  EvalScratch& scratch);
 
 /// Paper §5.2 approximation: neighbours of the gap only.
+MRLG_EFFECT_READONLY
 Evaluation evaluate_insertion_point_approx(const LocalProblem& lp,
                                            const InsertionPoint& point,
                                            const TargetSpec& target);
@@ -86,6 +88,7 @@ Evaluation evaluate_insertion_point_approx(const LocalProblem& lp,
                                            EvalScratch& scratch);
 
 /// Exact evaluation: critical positions for all local cells.
+MRLG_EFFECT_READONLY
 Evaluation evaluate_insertion_point_exact(const LocalProblem& lp,
                                           const InsertionPoint& point,
                                           const TargetSpec& target);

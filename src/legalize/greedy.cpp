@@ -7,6 +7,7 @@
 
 #include "eval/legality.hpp"
 #include "util/timer.hpp"
+#include "db/write_cap.hpp"
 
 namespace mrlg {
 
@@ -143,6 +144,7 @@ std::optional<Point> find_nearest_free_position(const Database& db,
 
 GreedyStats greedy_legalize(Database& db, SegmentGrid& grid,
                             const GreedyOptions& opts) {
+    GridWriteScope grid_write;
     Timer timer;
     GreedyStats stats;
     std::vector<CellId> order = db.movable_cells();

@@ -18,6 +18,7 @@
 #include "legalize/enumeration.hpp"
 #include "legalize/local_problem.hpp"
 #include "legalize/target.hpp"
+#include "util/annotations.hpp"
 
 namespace mrlg {
 
@@ -37,6 +38,7 @@ struct IlpLocalResult {
 /// Solves the local problem optimally via the MIP formulation. Used by
 /// tests to validate solve_local_exact and by the Table 1 documentation
 /// claim that the two agree.
+MRLG_EFFECT_READONLY
 IlpLocalResult solve_local_ilp(const LocalProblem& lp,
                                const TargetSpec& target,
                                const EnumerationOptions& opts = {});

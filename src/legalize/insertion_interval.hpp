@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "legalize/local_problem.hpp"
+#include "util/annotations.hpp"
 
 namespace mrlg {
 
@@ -36,6 +37,7 @@ struct InsertionInterval {
 
 /// Builds all non-discarded intervals for a target of width `target_w`.
 /// Requires compute_minmax_placement to have run on `lp`.
+MRLG_EFFECT_READONLY
 std::vector<InsertionInterval> build_insertion_intervals(
     const LocalProblem& lp, SiteCoord target_w);
 

@@ -5,6 +5,7 @@
 
 #include "check/audit.hpp"
 #include "check/audit_plan.hpp"
+#include "db/write_cap.hpp"
 #include "eval/legality.hpp"
 #include "legalize/greedy.hpp"
 #include "legalize/pipeline.hpp"
@@ -62,6 +63,10 @@ Point nearest_aligned_position(const Database& db, CellId cell_id, double px,
 LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
                                   const LegalizerOptions& opts) {
     MRLG_OBS_PHASE("legalize");
+    // Serial orchestration entry: everything below may mutate db/grid
+    // except the plan-phase fan-out, which deliberately does NOT
+    // re-assert the capability (db/write_cap.hpp).
+    GridWriteScope grid_write;
     Timer timer;
     LegalizerStats stats;
     Rng rng(opts.seed);
@@ -138,6 +143,7 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
 
     auto try_place = [&](CellId c, double px, double py,
                          bool allow_fallback, bool allow_ripup) -> bool {
+        assert_grid_write_cap();  // serial path of the enclosing scope
         const Point p =
             nearest_aligned_position(db, c, px, py, mll_opts.check_rail);
         const Cell& cell = db.cell(c);
@@ -241,6 +247,7 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
     // place, in queue order — exactly the serial loop's still_unplaced.
     auto run_pipelined_round = [&](int round,
                                    const std::vector<CellId>& queue) {
+        assert_grid_write_cap();  // commit waves run on this serial thread
         const std::size_t points_before = stats.mll_points_evaluated;
         // Build the round's tasks in queue order. This draws the round's
         // jitter exactly as the serial loop would: two uniforms per cell,
@@ -312,20 +319,26 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
                 // fan-out — at every thread count, keeping the emitted
                 // metrics configuration-independent.
                 obs::TracerPause pause;
+                // Const views of the shared state: overload resolution
+                // must pick the const accessors (db.cell) here — the
+                // non-const ones require GridWriteCap, which the plan
+                // fan-out deliberately does not hold.
+                const Database& plan_db = db;
+                const SegmentGrid& plan_grid = grid;
                 parallel_for(
                     batch.size(), /*grain=*/1, opts.num_threads,
                     [&](std::size_t begin, std::size_t end) {
                         thread_local MllScratch plan_scratch;
                         for (std::size_t i = begin; i < end; ++i) {
                             PlanTask& t = tasks[batch[i]];
-                            const Cell& cell = db.cell(t.cell);
+                            const Cell& cell = plan_db.cell(t.cell);
                             t.direct =
                                 t.rail_ok &&
-                                grid.placeable(db, t.fitted, CellId{},
-                                               cell.region());
+                                plan_grid.placeable(plan_db, t.fitted,
+                                                    CellId{}, cell.region());
                             if (!t.direct) {
-                                t.plan = mll_plan(db, grid, t.cell, t.px,
-                                                  t.py, plan_opts,
+                                t.plan = mll_plan(plan_db, plan_grid, t.cell,
+                                                  t.px, t.py, plan_opts,
                                                   &plan_scratch);
                             }
                         }

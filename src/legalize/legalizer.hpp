@@ -12,6 +12,7 @@
 #include "db/database.hpp"
 #include "db/segment.hpp"
 #include "legalize/mll.hpp"
+#include "util/annotations.hpp"
 
 namespace mrlg {
 
@@ -121,6 +122,7 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
 /// Rounds the preferred fractional position to the nearest site-aligned,
 /// in-die, rail-compatible position for `cell` (paper §3 "nearest
 /// site-aligned and power-rail matching position").
+MRLG_EFFECT_READONLY
 Point nearest_aligned_position(const Database& db, CellId cell, double px,
                                double py, bool check_rail);
 

@@ -17,6 +17,7 @@
 
 #include "db/database.hpp"
 #include "legalize/local_region.hpp"
+#include "util/annotations.hpp"
 
 namespace mrlg {
 
@@ -50,6 +51,7 @@ struct LpRow {
 /// The extracted local problem. Row k corresponds to absolute row y0 + k.
 class LocalProblem {
 public:
+    MRLG_EFFECT_READONLY
     static LocalProblem build(const Database& db, const LocalRegion& region,
                               LocalProblemScratch* scratch = nullptr);
 

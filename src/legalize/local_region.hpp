@@ -11,6 +11,7 @@
 
 #include "db/database.hpp"
 #include "db/segment.hpp"
+#include "util/annotations.hpp"
 
 namespace mrlg {
 
@@ -128,6 +129,7 @@ AttemptFootprint compute_attempt_footprint(const Rect& window,
 /// local segment must additionally *cut* it (it will not move, so its sites
 /// are unusable). We run the selection to a fixpoint: blockers accumulate
 /// monotonically, so this terminates.
+MRLG_EFFECT_READONLY
 LocalRegion extract_local_region(const Database& db, const SegmentGrid& grid,
                                  const Rect& window, int fence_region = 0,
                                  LocalRegionScratch* scratch = nullptr);

@@ -93,7 +93,7 @@ struct MllResult {
 /// Exactly reverts a successful mll_place: removes the target and restores
 /// every shifted cell. The grid must not have been modified in between.
 void mll_undo(Database& db, SegmentGrid& grid, CellId target_cell,
-              const MllResult& result);
+              const MllResult& result) MRLG_REQUIRES(grid_write_cap());
 
 /// A fully-computed MLL solution that has not touched the database or the
 /// segment grid. Produced by mll_plan (read-only over db/grid), applied by
@@ -125,6 +125,7 @@ struct MllPlan {
 /// would shift, without mutating `db` or `grid`. Safe to run concurrently
 /// with other mll_plan calls on the same db/grid as long as nothing
 /// mutates them; pass a per-thread scratch.
+MRLG_EFFECT_READONLY
 MllPlan mll_plan(const Database& db, const SegmentGrid& grid,
                  CellId target_cell, double pref_x, double pref_y,
                  const MllOptions& opts = {}, MllScratch* scratch = nullptr);
@@ -134,7 +135,7 @@ MllPlan mll_plan(const Database& db, const SegmentGrid& grid,
 /// shifts the moved cells and registers the target. On stale state nothing
 /// is modified and the result carries MllStatus::kPlanInvalidated.
 MllResult mll_commit(Database& db, SegmentGrid& grid, CellId target_cell,
-                     const MllPlan& plan);
+                     const MllPlan& plan) MRLG_REQUIRES(grid_write_cap());
 
 /// Converts a plan (typically a failed one) to the equivalent MllResult.
 MllResult mll_result_from_plan(const MllPlan& plan);
@@ -146,6 +147,7 @@ MllResult mll_result_from_plan(const MllPlan& plan);
 MllResult mll_place(Database& db, SegmentGrid& grid, CellId target_cell,
                     double pref_x, double pref_y,
                     const MllOptions& opts = {},
-                    MllScratch* scratch = nullptr);
+                    MllScratch* scratch = nullptr)
+    MRLG_REQUIRES(grid_write_cap());
 
 }  // namespace mrlg

@@ -16,6 +16,7 @@
 
 #include "legalize/enumeration.hpp"
 #include "legalize/local_problem.hpp"
+#include "util/annotations.hpp"
 
 namespace mrlg {
 
@@ -33,6 +34,7 @@ struct Realization {
 /// enumeration output and xt ∈ [point.lo, point.hi]. Under those
 /// preconditions a legal result always exists (every pushed cell stays
 /// within [xl, xr]); violations indicate a bug and are asserted.
+MRLG_EFFECT_READONLY
 Realization realize_insertion(const LocalProblem& lp,
                               const InsertionPoint& point, SiteCoord xt,
                               SiteCoord target_w);

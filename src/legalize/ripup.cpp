@@ -21,7 +21,8 @@ struct Step {
     MllResult mll;        ///< kMll: commit record for mll_undo.
 };
 
-void rollback(Database& db, SegmentGrid& grid, std::vector<Step>& steps) {
+void rollback(Database& db, SegmentGrid& grid, std::vector<Step>& steps)
+    MRLG_REQUIRES(grid_write_cap()) {
     for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
         switch (it->kind) {
             case Step::Kind::kEvict:

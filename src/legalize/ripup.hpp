@@ -48,6 +48,7 @@ struct RipupResult {
 RipupResult ripup_place(Database& db, SegmentGrid& grid, CellId target,
                         double pref_x, double pref_y,
                         const RipupOptions& opts = {},
-                        MllScratch* scratch = nullptr);
+                        MllScratch* scratch = nullptr)
+    MRLG_REQUIRES(grid_write_cap());
 
 }  // namespace mrlg

@@ -15,6 +15,7 @@
 #include "qa/shrink.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "db/write_cap.hpp"
 
 namespace mrlg::qa {
 
@@ -55,6 +56,7 @@ std::string local_battery(Database& db, const SegmentGrid& grid,
 }
 
 std::string mll_battery(Database& db, SegmentGrid& grid, int num_threads) {
+    GridWriteScope grid_write;
     int idx = 0;
     for (const CellId id : db.movable_cells()) {
         const Cell& c = db.cell(id);
@@ -76,6 +78,7 @@ std::string mll_battery(Database& db, SegmentGrid& grid, int num_threads) {
 }
 
 std::string ripup_battery(Database& db, SegmentGrid& grid, int num_threads) {
+    GridWriteScope grid_write;
     int idx = 0;
     for (const CellId id : db.movable_cells()) {
         const Cell& c = db.cell(id);
@@ -170,6 +173,7 @@ std::string check_case(Database& db, FuzzScenario scenario,
 
 std::string dump_repro(const Database& db, FuzzScenario scenario,
                        const std::string& dir, const std::string& name) {
+    GridWriteScope grid_write;
     // Blockages do not survive a Bookshelf round-trip as floorplan rects;
     // encode them as fixed terminal nodes (freeze_fixed_cells turns them
     // back into blockages on replay).
@@ -198,6 +202,7 @@ std::string dump_repro(const Database& db, FuzzScenario scenario,
 
 std::string replay_repro(const std::string& aux_path,
                          const LocalDiffOptions& lopts) {
+    GridWriteScope grid_write;
     BookshelfReadResult rr = read_bookshelf(aux_path);
 
     FuzzScenario scenario = FuzzScenario::kLegality;

@@ -5,6 +5,7 @@
 
 #include "io/benchmark_gen.hpp"
 #include "legalize/greedy.hpp"
+#include "db/write_cap.hpp"
 
 namespace mrlg::qa {
 
@@ -24,7 +25,8 @@ bool is_integral(double v) {
 
 /// Marks a cell as placed-by-convention: position plus its integral gp
 /// mirror (see generators.hpp).
-void set_case_position(Cell& cell, SiteCoord x, SiteCoord y) {
+void set_case_position(Cell& cell, SiteCoord x, SiteCoord y)
+    MRLG_REQUIRES(grid_write_cap()) {
     cell.set_pos(x, y);
     cell.set_gp(static_cast<double>(x), static_cast<double>(y));
 }
@@ -87,6 +89,7 @@ bool scenario_from_string(const std::string& name, FuzzScenario& out) {
 }
 
 Database gen_overlapping_case(Rng& rng) {
+    GridWriteScope grid_write;
     const SiteCoord rows = static_cast<SiteCoord>(rng.uniform(3, 10));
     const SiteCoord sites = static_cast<SiteCoord>(rng.uniform(24, 64));
     Database db{Floorplan(rows, sites)};
@@ -104,6 +107,7 @@ Database gen_overlapping_case(Rng& rng) {
     int counter = 0;
     const auto add_at = [&](SiteCoord x, SiteCoord y, SiteCoord w,
                             SiteCoord h) {
+        assert_grid_write_cap();
         const CellId id = db.add_cell(Cell("q" + std::to_string(counter++),
                                            w, h, random_phase(rng)));
         Cell& cell = db.cell(id);
@@ -148,6 +152,7 @@ Database gen_overlapping_case(Rng& rng) {
 }
 
 Database gen_packed_case(Rng& rng, int num_targets) {
+    GridWriteScope grid_write;
     const SiteCoord rows = static_cast<SiteCoord>(2 * rng.uniform(3, 7));
     const SiteCoord sites = static_cast<SiteCoord>(rng.uniform(40, 100));
     Database db{Floorplan(rows, sites)};
@@ -211,6 +216,7 @@ Database gen_packed_case(Rng& rng, int num_targets) {
 }
 
 Database gen_saturated_case(Rng& rng, int num_targets) {
+    GridWriteScope grid_write;
     const SiteCoord rows = static_cast<SiteCoord>(2 * rng.uniform(2, 4));
     const SiteCoord sites = static_cast<SiteCoord>(rng.uniform(20, 40));
     Database db{Floorplan(rows, sites)};
@@ -256,6 +262,7 @@ Database gen_saturated_case(Rng& rng, int num_targets) {
 }
 
 Database gen_whole_design_case(Rng& rng) {
+    GridWriteScope grid_write;
     GenProfile p;
     p.name = "fuzz-design";
     p.num_single = static_cast<std::size_t>(rng.uniform(60, 180));
@@ -280,6 +287,7 @@ Database gen_whole_design_case(Rng& rng) {
 }
 
 SegmentGrid materialize_case(Database& db) {
+    GridWriteScope grid_write;
     for (std::size_t i = 0; i < db.num_cells(); ++i) {
         Cell& cell = db.cell(CellId{static_cast<CellId::underlying>(i)});
         if (!cell.fixed()) {

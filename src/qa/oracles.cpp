@@ -14,6 +14,7 @@
 #include "legalize/minmax_placement.hpp"
 #include "legalize/realization.hpp"
 #include "qa/snapshot.hpp"
+#include "db/write_cap.hpp"
 
 namespace mrlg::qa {
 
@@ -360,6 +361,7 @@ std::string diff_local_solvers(const Database& db, const SegmentGrid& grid,
 std::string diff_mll_roundtrip(Database& db, SegmentGrid& grid,
                                CellId target, double pref_x, double pref_y,
                                const MllOptions& opts) {
+    GridWriteScope grid_write;
     const PlacementSnapshot before = capture_snapshot(db, grid);
     const MllResult r = mll_place(db, grid, target, pref_x, pref_y, opts);
     std::ostringstream os;
@@ -411,6 +413,7 @@ std::string diff_mll_roundtrip(Database& db, SegmentGrid& grid,
 std::string diff_ripup_rollback(Database& db, SegmentGrid& grid,
                                 CellId target, double pref_x, double pref_y,
                                 const RipupOptions& opts) {
+    GridWriteScope grid_write;
     const PlacementSnapshot before = capture_snapshot(db, grid);
     const RipupResult r = ripup_place(db, grid, target, pref_x, pref_y, opts);
     std::ostringstream os;

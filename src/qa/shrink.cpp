@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "db/write_cap.hpp"
 
 namespace mrlg::qa {
 
 Database subset_design(const Database& db, const std::vector<bool>& keep) {
+    GridWriteScope grid_write;
     MRLG_ASSERT(keep.size() == db.num_cells(),
                 "subset_design: mask size mismatch");
     Database out{db.floorplan()};

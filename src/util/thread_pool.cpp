@@ -1,14 +1,13 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "util/assert.hpp"
+#include "util/mutex.hpp"
 
 namespace mrlg {
 
@@ -22,9 +21,11 @@ struct JobState {
     std::size_t num_chunks = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
-    std::vector<std::exception_ptr> errors;  // one slot per chunk
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
+    /// One slot per chunk; slot c is written only by the thread that
+    /// claimed chunk c (disjoint indices), so no lock guards the vector.
+    std::vector<std::exception_ptr> errors;
+    Mutex done_mutex;
+    CondVar done_cv;
 };
 
 /// Pulls chunks until the job is exhausted. Safe to call even when the
@@ -43,7 +44,7 @@ void drain(JobState& job) {
         if (job.completed.fetch_add(1) + 1 == job.num_chunks) {
             // Empty critical section pairs with the waiter's predicate
             // check so the notification cannot be missed.
-            { std::lock_guard<std::mutex> lk(job.done_mutex); }
+            { MutexLock lk(job.done_mutex); }
             job.done_cv.notify_all();
         }
     }
@@ -52,21 +53,23 @@ void drain(JobState& job) {
 }  // namespace
 
 struct ThreadPool::Impl {
-    std::mutex mutex;
-    std::condition_variable work_cv;
-    std::vector<std::thread> threads;
-    std::shared_ptr<JobState> current;  // guarded by mutex
-    int open_slots = 0;                 // helpers the current job may claim
-    std::uint64_t generation = 0;
-    bool stop = false;
+    Mutex mutex;
+    CondVar work_cv;
+    std::vector<std::thread> threads;  // written by ctor/dtor thread only
+    std::shared_ptr<JobState> current MRLG_GUARDED_BY(mutex);
+    /// Helpers the current job may still claim.
+    int open_slots MRLG_GUARDED_BY(mutex) = 0;
+    std::uint64_t generation MRLG_GUARDED_BY(mutex) = 0;
+    bool stop MRLG_GUARDED_BY(mutex) = false;
 
     void worker_loop() {
         std::uint64_t seen = 0;
         while (true) {
             std::shared_ptr<JobState> job;
             {
-                std::unique_lock<std::mutex> lk(mutex);
-                work_cv.wait(lk, [&] {
+                MutexLock lk(mutex);
+                work_cv.wait(mutex, lk, [&] {
+                    mutex.assert_held();
                     return stop || (current != nullptr && open_slots > 0 &&
                                     generation != seen);
                 });
@@ -92,7 +95,7 @@ ThreadPool::ThreadPool(int num_workers) : impl_(new Impl) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard<std::mutex> lk(impl_->mutex);
+        MutexLock lk(impl_->mutex);
         impl_->stop = true;
     }
     impl_->work_cv.notify_all();
@@ -128,7 +131,7 @@ void ThreadPool::run_chunks(std::size_t num_chunks, int max_threads,
     job->num_chunks = num_chunks;
     job->errors.assign(num_chunks, nullptr);
     {
-        std::lock_guard<std::mutex> lk(impl_->mutex);
+        MutexLock lk(impl_->mutex);
         impl_->current = job;
         impl_->open_slots = helpers;
         ++impl_->generation;
@@ -138,14 +141,16 @@ void ThreadPool::run_chunks(std::size_t num_chunks, int max_threads,
     drain(*job);  // the calling thread participates
 
     {
-        std::unique_lock<std::mutex> lk(job->done_mutex);
-        job->done_cv.wait(lk, [&] {
+        MutexLock lk(job->done_mutex);
+        job->done_cv.wait(job->done_mutex, lk, [&] {
+            // completed is atomic; the lock only serializes the sleep
+            // against drain()'s empty critical section above.
             return job->completed.load() == job->num_chunks;
         });
     }
     {
         // Retire the job so late wakeups go back to sleep immediately.
-        std::lock_guard<std::mutex> lk(impl_->mutex);
+        MutexLock lk(impl_->mutex);
         if (impl_->current == job) {
             impl_->current.reset();
             impl_->open_slots = 0;

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Phase-effect analyzer entry point: proves the plan phase of the
+region-parallel pipeline read-only. Thin wrapper over
+
+    tools/mrlg_lint.py effects [paths...] [options]
+
+which carries the full rule documentation (mrlg_lint/effects.py). Kept
+as a separate executable so docs, CI, and humans have a name that says
+what it checks.
+
+Usage: tools/analyze_effects.py [paths...] [--root DIR]
+       [--baseline FILE] [--update-baseline] [--compile-commands F]
+Exit:  0 clean, 1 findings, 2 usage error.
+"""
+
+import importlib.util
+import os
+import sys
+
+
+def _load_cli():
+    # tools/mrlg_lint.py shadows the mrlg_lint package by name, so load
+    # it by path instead of by import.
+    here = os.path.dirname(os.path.abspath(__file__))
+    spec = importlib.util.spec_from_file_location(
+        "mrlg_lint_cli", os.path.join(here, "mrlg_lint.py")
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+if __name__ == "__main__":
+    cli = _load_cli()
+    sys.exit(cli.main([sys.argv[0], "effects"] + sys.argv[1:]))

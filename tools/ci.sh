@@ -2,7 +2,13 @@
 # mrlg CI pipeline: one entry point for every check this repo ships.
 #
 #   1. Release build + full ctest suite
-#   2. Determinism lint (tools/lint_determinism.py)
+#   2. Static checks (tools/mrlg_lint.py all): the phase-effect analyzer
+#      proving the mll_plan closure read-only, plus the determinism lint
+#      — one stage, one baseline, one exit code
+#   2b. Thread-safety annotations: the analyze-effects preset compiles
+#      every TU with clang -Wthread-safety -Werror so the GridWriteCap
+#      capability chain is machine-checked; SKIPped when clang++ is not
+#      installed (the Python analyzer in stage 2 still runs)
 #   3. clang-tidy over all translation units (MRLG_ANALYZE build)
 #   4. cppcheck over src/ and tools/
 #   5. ASan+UBSan build + full ctest suite (DCHECKs on)
@@ -77,7 +83,25 @@ build_and_test() {
 run_stage "build + ctest (Release)" build_and_test
 
 # ---------------------------------------------------------------- stage 2
-run_stage "determinism lint" python3 tools/lint_determinism.py src
+# Phase-effect analysis + determinism lint through the unified CLI.
+# Proves (with the built-in frontend; libclang when available) that the
+# transitive closure of mll_plan and the plan-stage dispatch never
+# mutates the grid, launders const, or touches unsynchronized globals.
+run_stage "static checks (effects + determinism)" \
+    python3 tools/mrlg_lint.py all src
+
+# --------------------------------------------------------------- stage 2b
+if command -v clang++ >/dev/null 2>&1; then
+    effects_build_stage() {
+        cmake --preset analyze-effects >/dev/null &&
+            cmake --build --preset analyze-effects -j "$JOBS"
+    }
+    run_stage "thread-safety build (analyze-effects preset)" \
+        effects_build_stage
+else
+    skip_stage "thread-safety build (analyze-effects preset)" \
+        "clang++ not installed"
+fi
 
 # ---------------------------------------------------------------- stage 3
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -1,256 +1,33 @@
 #!/usr/bin/env python3
-"""Determinism lint for the mrlg library sources.
+"""Determinism lint for the mrlg library sources. Thin wrapper over
 
-PR 1 made the parallel evaluation layer bit-identical at any thread count;
-that contract dies silently if library code starts consuming ambient
-nondeterminism. This lint rejects the known leak paths in src/:
+    tools/mrlg_lint.py determinism [paths...]
 
-  unordered-iter   Iterating an unordered container (range-for or explicit
-                   begin()). Iteration order is unspecified, so any fold
-                   into a result, message, or container ordered by visit
-                   sequence is nondeterministic. Use a vector, sort first,
-                   or iterate an index range.
-  naked-assert     Plain assert() instead of MRLG_ASSERT/MRLG_DCHECK.
-                   assert aborts the process and vanishes under NDEBUG;
-                   the MRLG macros throw AssertionError and have defined
-                   release behaviour (util/assert.hpp).
-  stdout-io        std::cout / printf / puts in library code. stdout
-                   belongs to the embedding application; libraries log
-                   through MRLG_LOG (stderr) or return strings.
-  wall-clock       Reading clocks outside src/util/. Timing flows through
-                   util/timer.hpp and must never influence results.
-  ambient-rng      rand()/srand()/std::random_device/std::mt19937 outside
-                   src/util/. All randomness comes from util/rng.hpp with
-                   an explicit seed so runs reproduce.
-  plan-order       Any unordered container in the order-critical files of
-                   the region-parallel plan/commit pipeline (see
-                   ORDER_CRITICAL_FILES). The pipeline's serial-equivalence
-                   proof hangs on walking queues, batches, and ledger
-                   claims in deterministic order; an unordered container
-                   anywhere in those files is one refactor away from being
-                   iterated. Stricter than unordered-iter on purpose: use
-                   std::map / std::set / sorted vectors there.
-
-Suppress a deliberate use with a one-line reason on the same line or the
-line above:   // mrlg-lint: allow(<rule>) <reason>
-
-Usage: tools/lint_determinism.py [paths...]   (default: src/)
-Exit:  0 clean, 1 findings, 2 usage error.
+The rules (unordered-iter, naked-assert, stdout-io, wall-clock,
+ambient-rng, plan-order) and the suppression syntax
+(`// mrlg-lint: allow(<rule>) <reason>`) are documented in
+mrlg_lint/determinism.py; the findings/reporting machinery is shared
+with the phase-effect analyzer (mrlg_lint/framework.py). The original
+CLI is preserved: positional paths, default src/, exit 0/1/2.
 """
 
+import importlib.util
 import os
-import re
 import sys
 
-ALLOW_RE = re.compile(r"mrlg-lint:\s*allow\(([a-z-]+)\)")
 
-# Rules that apply everywhere under the linted roots.
-GLOBAL_RULES = [
-    (
-        "naked-assert",
-        re.compile(r"(?<![_\w])assert\s*\("),
-        "use MRLG_ASSERT/MRLG_DCHECK (util/assert.hpp) instead of assert()",
-    ),
-    (
-        "stdout-io",
-        re.compile(r"std::cout|(?<![\w_])printf\s*\(|(?<![\w_])puts\s*\("),
-        "library code must not write to stdout; use MRLG_LOG or return data",
-    ),
-]
-
-# Rules from which src/util/ (the sanctioned wrappers) is exempt.
-NON_UTIL_RULES = [
-    (
-        "wall-clock",
-        re.compile(
-            r"steady_clock|system_clock|high_resolution_clock"
-            r"|(?<![\w_])std::time\s*\(|gettimeofday|(?<![\w_])clock\s*\(\)"
-        ),
-        "read time through util/timer.hpp only",
-    ),
-    (
-        "ambient-rng",
-        re.compile(
-            r"(?<![\w_])rand\s*\(|(?<![\w_])srand\s*\(|random_device"
-            r"|mt19937|default_random_engine|random_shuffle"
-        ),
-        "use util/rng.hpp (explicit seed) for all randomness",
-    ),
-]
-
-# Files whose iteration order is load-bearing for the plan/commit
-# pipeline's serial-equivalence argument (legalize/pipeline.hpp). Unordered
-# containers are rejected here entirely, not just their iteration.
-ORDER_CRITICAL_FILES = (
-    os.path.join("legalize", "pipeline.hpp"),
-    os.path.join("legalize", "pipeline.cpp"),
-    os.path.join("legalize", "legalizer.cpp"),
-)
-
-UNORDERED_USE_RE = re.compile(r"unordered_(?:map|set|multimap|multiset)")
-
-UNORDERED_DECL_RE = re.compile(
-    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>[&\s]*(\w+)\s*[;={(,)]"
-)
-RANGE_FOR_RE = re.compile(r"for\s*\(.*?:\s*&?\s*\*?\s*([\w.\->:]+)\s*\)")
-DIRECT_UNORDERED_ITER_RE = re.compile(
-    r"for\s*\(.*:\s*[^)]*unordered_(?:map|set|multimap|multiset)"
-)
-
-
-def strip_noise(line, in_block_comment):
-    """Removes string literals and comments so rules match code only.
-
-    Returns (code, comment_text, still_in_block_comment). Comment text is
-    kept separately because suppressions live there.
-    """
-    code = []
-    comment = []
-    i = 0
-    n = len(line)
-    state_block = in_block_comment
-    while i < n:
-        if state_block:
-            end = line.find("*/", i)
-            if end < 0:
-                comment.append(line[i:])
-                i = n
-            else:
-                comment.append(line[i:end])
-                i = end + 2
-                state_block = False
-            continue
-        ch = line[i]
-        if ch == "/" and i + 1 < n and line[i + 1] == "/":
-            comment.append(line[i + 2 :])
-            i = n
-        elif ch == "/" and i + 1 < n and line[i + 1] == "*":
-            state_block = True
-            i += 2
-        elif ch == '"' or ch == "'":
-            quote = ch
-            i += 1
-            while i < n:
-                if line[i] == "\\":
-                    i += 2
-                elif line[i] == quote:
-                    i += 1
-                    break
-                else:
-                    i += 1
-            code.append(quote + quote)  # keep token boundaries
-        else:
-            code.append(ch)
-            i += 1
-    return "".join(code), "".join(comment), state_block
-
-
-def lint_file(path, findings):
-    try:
-        with open(path, encoding="utf-8", errors="replace") as f:
-            raw_lines = f.read().splitlines()
-    except OSError as e:
-        findings.append((path, 0, "io-error", str(e)))
-        return
-
-    in_util = os.sep + "util" + os.sep in path
-    rules = list(GLOBAL_RULES) + ([] if in_util else NON_UTIL_RULES)
-    order_critical = path.endswith(ORDER_CRITICAL_FILES)
-
-    # Pass 1: names declared as unordered containers in this file
-    # (including references bound to one, the common aliasing pattern).
-    unordered_names = set()
-    in_block = False
-    stripped = []
-    allows = []  # per line: set of allowed rule names (this or prev line)
-    for line in raw_lines:
-        code, comment, in_block = strip_noise(line, in_block)
-        stripped.append(code)
-        allows.append(set(ALLOW_RE.findall(comment)))
-        for m in UNORDERED_DECL_RE.finditer(code):
-            unordered_names.add(m.group(1))
-
-    def allowed(idx, rule):
-        if rule in allows[idx]:
-            return True
-        return idx > 0 and rule in allows[idx - 1]
-
-    for idx, code in enumerate(stripped):
-        lineno = idx + 1
-        if (
-            order_critical
-            and UNORDERED_USE_RE.search(code)
-            and not allowed(idx, "plan-order")
-        ):
-            findings.append(
-                (
-                    path,
-                    lineno,
-                    "plan-order",
-                    "order-critical pipeline file: unordered containers "
-                    "are banned here (serial-equivalence depends on "
-                    "deterministic iteration)",
-                )
-            )
-        for rule, pattern, advice in rules:
-            if pattern.search(code) and not allowed(idx, rule):
-                if rule == "naked-assert" and "static_assert" in code:
-                    # static_assert is compile-time and always on.
-                    if not re.search(r"(?<!static_)assert\s*\(", code):
-                        continue
-                findings.append((path, lineno, rule, advice))
-        if allowed(idx, "unordered-iter"):
-            continue
-        m = RANGE_FOR_RE.search(code)
-        hit = DIRECT_UNORDERED_ITER_RE.search(code) is not None
-        if not hit and m is not None:
-            # Range-for over a variable declared unordered in this file.
-            base = m.group(1).split(".")[0].split("->")[0]
-            hit = base in unordered_names
-        if hit:
-            findings.append(
-                (
-                    path,
-                    lineno,
-                    "unordered-iter",
-                    "iteration order of unordered containers is "
-                    "unspecified; sort or use an ordered container",
-                )
-            )
-
-
-def main(argv):
-    roots = argv[1:] or ["src"]
-    files = []
-    for root in roots:
-        if os.path.isfile(root):
-            files.append(root)
-            continue
-        if not os.path.isdir(root):
-            print(f"lint_determinism: no such path: {root}", file=sys.stderr)
-            return 2
-        for dirpath, _dirnames, filenames in os.walk(root):
-            for name in sorted(filenames):
-                if name.endswith((".cpp", ".hpp", ".h", ".cc")):
-                    files.append(os.path.join(dirpath, name))
-    files.sort()
-
-    findings = []
-    for path in files:
-        lint_file(path, findings)
-
-    for path, lineno, rule, advice in findings:
-        print(f"{path}:{lineno}: {rule}: {advice}")
-    if findings:
-        print(
-            f"lint_determinism: {len(findings)} finding(s) in "
-            f"{len(files)} file(s)",
-            file=sys.stderr,
-        )
-        return 1
-    print(f"lint_determinism: clean ({len(files)} files)")
-    return 0
+def _load_cli():
+    # tools/mrlg_lint.py shadows the mrlg_lint package by name, so load
+    # it by path instead of by import.
+    here = os.path.dirname(os.path.abspath(__file__))
+    spec = importlib.util.spec_from_file_location(
+        "mrlg_lint_cli", os.path.join(here, "mrlg_lint.py")
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    cli = _load_cli()
+    sys.exit(cli.main([sys.argv[0], "determinism"] + sys.argv[1:]))

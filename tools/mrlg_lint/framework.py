@@ -1,0 +1,193 @@
+"""Shared rule framework: findings, in-source suppressions, baselines,
+and reporting. Both rule families (determinism, effects) produce Finding
+objects; one reporter decides what is new, what is suppressed, and what
+the exit code is, so CI has a single contract for every static check.
+
+Suppression (line-level rules): a one-line reason on the finding's line
+or the line above it::
+
+    // mrlg-lint: allow(<rule>) <reason>
+
+Baseline (whole-program rules, where there is no single line to carry a
+comment): a checked-in file of finding keys, one per line, '#' comments
+allowed. A finding whose key() appears in the baseline is reported as
+tolerated but does not fail the run. Regenerate with --update-baseline.
+"""
+
+import os
+import re
+from dataclasses import dataclass, field
+
+ALLOW_RE = re.compile(r"mrlg-lint:\s*allow\(([a-z-]+)\)")
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str  # repo-relative where possible
+    line: int  # 1-based; 0 = whole-file / whole-program
+    message: str
+    # Stable identity for baselining: function names, not line numbers,
+    # so unrelated edits do not churn the baseline. Defaults to
+    # rule|path|line for line-level rules.
+    key_hint: str = ""
+
+    def key(self):
+        if self.key_hint:
+            return f"{self.rule}|{self.path}|{self.key_hint}"
+        return f"{self.rule}|{self.path}|{self.line}"
+
+    def render(self):
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{loc}: {self.rule}: {self.message}"
+
+
+def strip_noise(line, in_block_comment):
+    """Removes string literals and comments from one source line.
+
+    Returns (code, comment_text, still_in_block_comment). Comment text
+    is kept separately because suppressions live there.
+    """
+    code = []
+    comment = []
+    i = 0
+    n = len(line)
+    state_block = in_block_comment
+    while i < n:
+        if state_block:
+            end = line.find("*/", i)
+            if end < 0:
+                comment.append(line[i:])
+                i = n
+            else:
+                comment.append(line[i:end])
+                i = end + 2
+                state_block = False
+            continue
+        ch = line[i]
+        if ch == "/" and i + 1 < n and line[i + 1] == "/":
+            comment.append(line[i + 2 :])
+            i = n
+        elif ch == "/" and i + 1 < n and line[i + 1] == "*":
+            state_block = True
+            i += 2
+        elif ch == '"' or ch == "'":
+            quote = ch
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                elif line[i] == quote:
+                    i += 1
+                    break
+                else:
+                    i += 1
+            code.append(quote + quote)  # keep token boundaries
+        else:
+            code.append(ch)
+            i += 1
+    return "".join(code), "".join(comment), state_block
+
+
+@dataclass
+class SourceFile:
+    """One file, pre-stripped for rule matching."""
+
+    path: str
+    raw_lines: list = field(default_factory=list)
+    code_lines: list = field(default_factory=list)  # literals/comments gone
+    allows: list = field(default_factory=list)  # per-line set of rule names
+
+    @classmethod
+    def load(cls, path):
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read().splitlines()
+        sf = cls(path=path, raw_lines=raw)
+        in_block = False
+        for line in raw:
+            code, comment, in_block = strip_noise(line, in_block)
+            sf.code_lines.append(code)
+            sf.allows.append(set(ALLOW_RE.findall(comment)))
+        return sf
+
+    def allowed(self, idx, rule):
+        """True when line idx (0-based) carries an allow(rule) on it or
+        the line above."""
+        if rule in self.allows[idx]:
+            return True
+        return idx > 0 and rule in self.allows[idx - 1]
+
+    def code_text(self):
+        return "\n".join(self.code_lines)
+
+
+def load_baseline(path):
+    """Set of tolerated finding keys; missing file = empty baseline."""
+    keys = set()
+    if not path or not os.path.exists(path):
+        return keys
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                keys.add(line)
+    return keys
+
+
+def write_baseline(path, findings, header=""):
+    with open(path, "w", encoding="utf-8") as f:
+        if header:
+            for line in header.splitlines():
+                f.write(f"# {line}\n")
+        for key in sorted({fi.key() for fi in findings}):
+            f.write(key + "\n")
+
+
+def report(findings, baseline_keys, label, num_files, out, err):
+    """Prints findings and returns the process exit code (0/1).
+
+    Baselined findings are listed (prefixed "tolerated") but do not fail;
+    stale baseline entries are ignored silently so deleting code never
+    breaks the check.
+    """
+    fresh = []
+    tolerated = []
+    for fi in sorted(findings, key=lambda fi: (fi.path, fi.line, fi.rule)):
+        if fi.key() in baseline_keys:
+            tolerated.append(fi)
+        else:
+            fresh.append(fi)
+    for fi in fresh:
+        print(fi.render(), file=out)
+    for fi in tolerated:
+        print(f"tolerated (baseline): {fi.render()}", file=out)
+    if fresh:
+        print(
+            f"{label}: {len(fresh)} finding(s) "
+            f"({len(tolerated)} baselined) in {num_files} file(s)",
+            file=err,
+        )
+        return 1
+    suffix = f", {len(tolerated)} baselined" if tolerated else ""
+    print(f"{label}: clean ({num_files} files{suffix})", file=out)
+    return 0
+
+
+def collect_files(roots, exts=(".cpp", ".hpp", ".h", ".cc")):
+    """Walks roots (files or directories) into a sorted file list.
+
+    Returns (files, error_message_or_None).
+    """
+    files = []
+    for root in roots:
+        if os.path.isfile(root):
+            files.append(root)
+            continue
+        if not os.path.isdir(root):
+            return [], f"no such path: {root}"
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if name.endswith(exts):
+                    files.append(os.path.join(dirpath, name))
+    files.sort()
+    return files, None
