@@ -20,11 +20,18 @@
 ///   --seed N       generator seed offset (default 0)
 ///   --approx-only / --exact-only   restrict the evaluation modes
 ///   --large-only   run only the largest design
+///   --trace PATH   install a wall-clock timeline and write the last
+///                  run's Chrome trace-event / Perfetto JSON to PATH
+///                  (off by default so the no-timeline overhead claim
+///                  stays measurable here)
 
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
 #include "eval/metrics.hpp"
+#include "io/profiles.hpp"
+#include "obs/timeline.hpp"
 #include "util/logging.hpp"
 #include "util/str.hpp"
 #include "util/thread_pool.hpp"
@@ -34,13 +41,6 @@ using namespace mrlg;
 using namespace mrlg::bench;
 
 namespace {
-
-struct DesignSpec {
-    std::string name;
-    std::size_t num_single;
-    std::size_t num_double;
-    double density;
-};
 
 std::vector<int> parse_threads(const std::string& csv) {
     std::vector<int> out;
@@ -90,14 +90,15 @@ int main(int argc, char** argv) {
     const double scale = args.get_double("--scale", 1.0);
     const int seed_offset = args.get_int("--seed", 0);
 
-    std::vector<DesignSpec> designs{
-        {"parallel_s", 2000, 200, 0.70},
-        {"parallel_m", 8000, 800, 0.72},
-        {"parallel_l", 24000, 2400, 0.75},
-    };
+    std::vector<std::string> designs = parallel_profile_names();
     if (args.has_flag("--large-only")) {
         designs = {designs.back()};
     }
+    const std::string trace_path = args.get_string("--trace", "");
+    // The timeline is installed ONLY with --trace: default bench runs
+    // measure the true zero-observer cost of the instrumented hot paths.
+    std::unique_ptr<obs::Timeline> timeline;
+    std::unique_ptr<obs::ScopedTimeline> timeline_guard;
     std::vector<bool> modes;  // true = exact evaluation
     if (!args.has_flag("--exact-only")) {
         modes.push_back(false);
@@ -112,29 +113,17 @@ int main(int argc, char** argv) {
 
     Json root = Json::object();
     root.set("bench", Json::str("bench_parallel"));
-    const ThreadPoolConfig tp = ThreadPool::config();
-    root.set("hardware_threads", Json::num(tp.hardware_threads));
-    Json tpj = Json::object();
-    tpj.set("hardware_threads", Json::num(tp.hardware_threads));
-    tpj.set("default_threads", Json::num(tp.default_threads));
-    tpj.set("pool_workers", Json::num(tp.pool_workers));
-    tpj.set("mrlg_threads_env", Json::boolean(tp.env_override));
-    root.set("thread_pool", std::move(tpj));
     root.set("scale", Json::num(scale));
     root.set("seed_offset", Json::num(static_cast<std::int64_t>(seed_offset)));
     Json runs = Json::array();
 
-    for (const DesignSpec& spec : designs) {
+    for (const std::string& design_name : designs) {
         GenProfile profile;
-        profile.name = spec.name;
-        profile.num_single =
-            static_cast<std::size_t>(static_cast<double>(spec.num_single) *
-                                     scale);
-        profile.num_double =
-            static_cast<std::size_t>(static_cast<double>(spec.num_double) *
-                                     scale);
-        profile.density = spec.density;
-        profile.seed = 11 + static_cast<std::uint64_t>(seed_offset);
+        if (!parallel_profile(design_name, scale, seed_offset, profile)) {
+            std::cerr << "unknown parallel design profile: " << design_name
+                      << "\n";
+            return 1;
+        }
         GenResult gen = generate_benchmark(profile);
         Database& db = gen.db;
         SegmentGrid grid = SegmentGrid::build(db);
@@ -148,6 +137,14 @@ int main(int argc, char** argv) {
                 double baseline_time = 0.0;
                 for (const int t : threads) {
                     reset_placement(db, grid);
+                    if (!trace_path.empty()) {
+                        // Fresh timeline per run; the last run's events are
+                        // what ends up in the trace file.
+                        timeline_guard.reset();
+                        timeline = std::make_unique<obs::Timeline>();
+                        timeline_guard =
+                            std::make_unique<obs::ScopedTimeline>(*timeline);
+                    }
                     LegalizerOptions opts;
                     opts.seed = profile.seed;
                     opts.num_threads = t;
@@ -165,20 +162,40 @@ int main(int argc, char** argv) {
                     const double speedup =
                         m.runtime_s > 0.0 ? baseline_time / m.runtime_s
                                           : 0.0;
-                    std::cerr << spec.name << " ["
+                    std::cerr << design_name << " ["
                               << (exact ? "exact" : "approx") << "/"
                               << s.name << "] t=" << t << ": "
                               << format_fixed(m.runtime_s, 3) << "s"
                               << " speedup=" << format_fixed(speedup, 2)
                               << (identical ? "" : "  MISMATCH") << "\n";
 
+                    // Sanity guard: no run can legitimately beat linear
+                    // scaling. A speedup above the thread count (plus
+                    // timer-noise slack) means the baseline, the clock, or
+                    // the recorded environment is lying — exactly the class
+                    // of bug behind a hardware_threads:1 machine reporting
+                    // 7 pool workers.
+                    if (speedup > static_cast<double>(t) + 0.25) {
+                        std::cerr << "FATAL: speedup_vs_serial "
+                                  << format_fixed(speedup, 2)
+                                  << " exceeds the thread count " << t
+                                  << " (series=" << s.name
+                                  << " design=" << design_name
+                                  << ") - baseline or clock is broken\n";
+                        return 1;
+                    }
+
+                    const ThreadPoolConfig tp_now = ThreadPool::config();
                     Json run = Json::object();
-                    run.set("design", Json::str(spec.name));
+                    run.set("design", Json::str(design_name));
                     run.set("cells", Json::num(num_cells));
                     run.set("mode", Json::str(exact ? "exact" : "approx"));
                     run.set("series", Json::str(s.name));
                     run.set("threads",
                             Json::num(static_cast<std::int64_t>(t)));
+                    run.set("threads_effective",
+                            Json::num(static_cast<std::int64_t>(std::min(
+                                t, tp_now.pool_workers + 1))));
                     run.set("legalize_s", Json::num(m.runtime_s));
                     run.set("success", Json::boolean(m.success));
                     run.set("points_evaluated",
@@ -194,8 +211,9 @@ int main(int argc, char** argv) {
                     runs.push(std::move(run));
                     if (!identical) {
                         std::cerr << "FATAL: run diverged from the serial "
-                                     "placement (series="
-                                  << s.name << " threads=" << t << ")\n";
+                                     "placement (design=" << design_name
+                                  << " series=" << s.name
+                                  << " threads=" << t << ")\n";
                         return 1;
                     }
                 }
@@ -203,9 +221,30 @@ int main(int argc, char** argv) {
         }
     }
     root.set("runs", std::move(runs));
+
+    // Machine configuration, captured AFTER the sweep so the global pool
+    // has been instantiated and pool_workers_active reflects the helper
+    // threads that really ran (not -1, and never a made-up count that
+    // contradicts hardware_threads).
+    const ThreadPoolConfig tp = ThreadPool::config();
+    Json env = Json::object();
+    env.set("hardware_threads", Json::num(tp.hardware_threads));
+    env.set("default_threads", Json::num(tp.default_threads));
+    env.set("pool_workers", Json::num(tp.pool_workers));
+    env.set("pool_workers_active", Json::num(tp.pool_workers_active));
+    env.set("mrlg_threads_env", Json::boolean(tp.env_override));
+    root.set("environment", std::move(env));
+
     if (!write_json_file(json_path, root)) {
         return 1;
     }
     std::cerr << "wrote " << json_path << "\n";
+    if (!trace_path.empty() && timeline != nullptr) {
+        if (!obs::write_chrome_trace(trace_path, *timeline,
+                                     "bench_parallel")) {
+            return 1;
+        }
+        std::cerr << "wrote " << trace_path << "\n";
+    }
     return 0;
 }

@@ -1,0 +1,30 @@
+#pragma once
+/// \file arena_stats.hpp
+/// Capacity-based memory accounting for the db storage arenas, consumed by
+/// the obs memory-telemetry block (src/obs/memres.*). Lives in db/ so the
+/// containers can report on themselves without depending on obs.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mrlg {
+
+/// One storage arena's footprint. `bytes` counts reserved capacity (what
+/// the process actually holds), not size; `entries` is the live element
+/// count so consumers can compute bytes-per-entry.
+struct ArenaUsage {
+    std::string name;
+    std::size_t bytes = 0;
+    std::size_t entries = 0;
+};
+
+inline std::size_t total_arena_bytes(const std::vector<ArenaUsage>& arenas) {
+    std::size_t total = 0;
+    for (const ArenaUsage& a : arenas) {
+        total += a.bytes;
+    }
+    return total;
+}
+
+}  // namespace mrlg

@@ -103,6 +103,62 @@ std::size_t Database::num_multi_row_cells() const {
     return n;
 }
 
+namespace {
+
+/// Heap bytes a std::string actually owns (0 when the small-string
+/// optimisation keeps it inline).
+std::size_t string_heap_bytes(const std::string& s) {
+    return s.capacity() + 1 > sizeof(std::string) ? s.capacity() + 1 : 0;
+}
+
+/// Rough per-entry footprint of one unordered_map node plus the bucket
+/// array. Implementation-defined in detail, but capacity-proportional and
+/// stable enough for trend tracking, which is all the memory block claims.
+template <typename Map>
+std::size_t name_map_bytes(const Map& map) {
+    std::size_t bytes = map.bucket_count() * sizeof(void*);
+    for (const auto& [name, id] : map) {
+        bytes += sizeof(typename Map::value_type) + 2 * sizeof(void*) +
+                 string_heap_bytes(name);
+        static_cast<void>(id);
+    }
+    return bytes;
+}
+
+}  // namespace
+
+std::vector<ArenaUsage> Database::memory_breakdown() const {
+    std::vector<ArenaUsage> arenas;
+
+    std::size_t cell_bytes = cells_.capacity() * sizeof(Cell);
+    for (const Cell& c : cells_) {
+        cell_bytes += string_heap_bytes(c.name());
+        cell_bytes += c.pins().capacity() * sizeof(PinId);
+    }
+    arenas.push_back({"cells", cell_bytes, cells_.size()});
+
+    std::size_t net_bytes = nets_.capacity() * sizeof(Net);
+    for (const Net& n : nets_) {
+        net_bytes += string_heap_bytes(n.name());
+        net_bytes += n.pins().capacity() * sizeof(PinId);
+    }
+    arenas.push_back({"nets", net_bytes, nets_.size()});
+
+    arenas.push_back(
+        {"pins", pins_.capacity() * sizeof(Pin), pins_.size()});
+
+    std::size_t fp_bytes = fp_.rows().capacity() * sizeof(Row) +
+                           fp_.blockages().capacity() * sizeof(Rect) +
+                           fp_.fences().capacity() * sizeof(Floorplan::Fence);
+    arenas.push_back({"floorplan", fp_bytes, fp_.rows().size()});
+
+    arenas.push_back({"name_maps",
+                      name_map_bytes(cell_by_name_) +
+                          name_map_bytes(net_by_name_),
+                      cell_by_name_.size() + net_by_name_.size()});
+    return arenas;
+}
+
 void Database::freeze_fixed_cells() {
     for (const Cell& c : cells_) {
         if (c.fixed()) {

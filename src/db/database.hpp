@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "db/arena_stats.hpp"
 #include "db/cell.hpp"
 #include "db/floorplan.hpp"
 #include "db/net.hpp"
@@ -66,6 +67,12 @@ public:
     /// SegmentGrid::build treats them as obstacles). Call once after all
     /// fixed cells have received their positions.
     void freeze_fixed_cells() MRLG_REQUIRES(grid_write_cap());
+
+    /// Capacity-based bytes per storage arena (cells/nets/pins/name maps,
+    /// including per-element heap like names and pin lists) for the obs
+    /// memory-telemetry block. O(n) walk; call it at report time, not in
+    /// hot loops.
+    std::vector<ArenaUsage> memory_breakdown() const;
 
 private:
     std::size_t check(CellId id) const;

@@ -260,6 +260,24 @@ std::size_t SegmentGrid::index_in(const Database& db, const Segment& s,
     return static_cast<std::size_t>(it - list.begin());
 }
 
+std::vector<ArenaUsage> SegmentGrid::memory_breakdown() const {
+    std::vector<ArenaUsage> arenas;
+    std::size_t list_bytes = 0;
+    std::size_t cell_refs = 0;
+    for (const Segment& s : segments_) {
+        list_bytes += s.cells.capacity() * sizeof(CellId);
+        cell_refs += s.cells.size();
+    }
+    arenas.push_back({"segments", segments_.capacity() * sizeof(Segment),
+                      segments_.size()});
+    arenas.push_back({"segment_cell_lists", list_bytes, cell_refs});
+    arenas.push_back({"row_index",
+                      row_order_.capacity() * sizeof(SegmentId) +
+                          row_index_.capacity() * sizeof(std::size_t),
+                      row_order_.size()});
+    return arenas;
+}
+
 std::string SegmentGrid::audit(const Database& db) const {
     std::ostringstream err;
     std::vector<int> appearances(db.num_cells(), 0);

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "db/arena_stats.hpp"
 #include "db/database.hpp"
 #include "db/types.hpp"
 #include "db/write_cap.hpp"
@@ -89,6 +90,10 @@ public:
     /// exactly its h covering segments, lists sorted and within span.
     /// Returns a human-readable error string, or empty when consistent.
     std::string audit(const Database& db) const;
+
+    /// Capacity-based bytes per grid arena (segments + per-segment cell
+    /// lists, row index) for the obs memory-telemetry block.
+    std::vector<ArenaUsage> memory_breakdown() const;
 
     /// Fault injection for the audit tests ONLY: direct write access to a
     /// segment's cell list so fixtures can break the invariants the

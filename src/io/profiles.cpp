@@ -85,4 +85,36 @@ std::vector<Table1Entry> table1_benchmarks(double scale) {
     return all;
 }
 
+bool parallel_profile(const std::string& name, double scale,
+                      int seed_offset, GenProfile& out) {
+    struct Spec {
+        const char* name;
+        std::size_t num_single;
+        std::size_t num_double;
+        double density;
+    };
+    static constexpr Spec kSpecs[] = {
+        {"parallel_s", 2000, 200, 0.70},
+        {"parallel_m", 8000, 800, 0.72},
+        {"parallel_l", 24000, 2400, 0.75},
+    };
+    for (const Spec& spec : kSpecs) {
+        if (name == spec.name) {
+            out.name = spec.name;
+            out.num_single = static_cast<std::size_t>(
+                static_cast<double>(spec.num_single) * scale);
+            out.num_double = static_cast<std::size_t>(
+                static_cast<double>(spec.num_double) * scale);
+            out.density = spec.density;
+            out.seed = 11 + static_cast<std::uint64_t>(seed_offset);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::string> parallel_profile_names() {
+    return {"parallel_s", "parallel_m", "parallel_l"};
+}
+
 }  // namespace mrlg

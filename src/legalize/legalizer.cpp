@@ -10,6 +10,7 @@
 #include "legalize/greedy.hpp"
 #include "legalize/pipeline.hpp"
 #include "legalize/ripup.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
@@ -70,6 +71,12 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
     Timer timer;
     LegalizerStats stats;
     Rng rng(opts.seed);
+
+    // Wall-clock execution timeline (two-tracer model, obs/timeline.hpp):
+    // hoisted once so worker lambdas receive the pointer by capture and
+    // never read ambient state. nullptr (the default) keeps every probe a
+    // single branch.
+    obs::Timeline* const timeline = obs::current_timeline();
 
     // Effective MLL options: LegalizerOptions::num_threads fills the MLL
     // thread count unless the caller pinned it explicitly.
@@ -300,8 +307,15 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
         while (!pending.empty()) {
             MRLG_OBS_PHASE("wave");
             ++stats.waves;
+            // Timeline keys: the global wave sequence number is the stable
+            // major key; slot/task come from the (deterministic) partition.
+            const std::uint32_t wave_id =
+                static_cast<std::uint32_t>(stats.waves);
+            obs::TimelineSpan wave_span(timeline, "wave", {wave_id, 0, 0});
             {
                 MRLG_OBS_PHASE("partition");
+                obs::TimelineSpan partition_span(timeline, "partition",
+                                                 {wave_id, 0, 0});
                 ledger.reset(num_rows, die_x);
                 partition_wave(tasks, pending, ledger, batch, deferred);
             }
@@ -319,6 +333,8 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
                 // fan-out — at every thread count, keeping the emitted
                 // metrics configuration-independent.
                 obs::TracerPause pause;
+                obs::TimelineSpan plan_span(timeline, "plan",
+                                            {wave_id, 0, 0});
                 // Const views of the shared state: overload resolution
                 // must pick the const accessors (db.cell) here — the
                 // non-const ones require GridWriteCap, which the plan
@@ -330,6 +346,13 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
                     [&](std::size_t begin, std::size_t end) {
                         thread_local MllScratch plan_scratch;
                         for (std::size_t i = begin; i < end; ++i) {
+                            // The wall-clock Timeline (NOT the paused
+                            // Tracer) is the one observer workers may
+                            // write: lock-free per-thread lanes.
+                            obs::TimelineSpan task_span(
+                                timeline, "plan.task",
+                                {wave_id, static_cast<std::uint32_t>(i),
+                                 static_cast<std::uint32_t>(batch[i])});
                             PlanTask& t = tasks[batch[i]];
                             const Cell& cell = plan_db.cell(t.cell);
                             t.direct =
@@ -360,8 +383,15 @@ LegalizerStats legalize_placement(Database& db, SegmentGrid& grid,
 
             {
                 MRLG_OBS_PHASE("commit");
+                obs::TimelineSpan commit_span(timeline, "commit",
+                                              {wave_id, 0, 0});
                 std::size_t resolved = 0;
-                for (const std::size_t idx : batch) {
+                for (std::size_t slot = 0; slot < batch.size(); ++slot) {
+                    const std::size_t idx = batch[slot];
+                    obs::TimelineSpan commit_task_span(
+                        timeline, "commit.task",
+                        {wave_id, static_cast<std::uint32_t>(slot),
+                         static_cast<std::uint32_t>(idx)});
                     PlanTask& t = tasks[idx];
                     const Cell& cell = db.cell(t.cell);
                     if (t.direct) {

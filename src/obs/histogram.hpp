@@ -1,0 +1,62 @@
+#pragma once
+/// \file histogram.hpp
+/// Log2-bucket histogram shared by both halves of the two-tracer model:
+/// the deterministic serial Tracer (obs/trace.hpp) and the wall-clock
+/// parallel Timeline (obs/timeline.hpp). Split out of trace.hpp so the
+/// Timeline can aggregate distributions without including — or being
+/// tempted to touch — the Tracer (tools/mrlg_lint enforces that isolation).
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "obs/json.hpp"
+
+namespace mrlg::obs {
+
+/// Log2-bucket histogram: bucket i counts values in [2^(i-1), 2^i) with
+/// bucket 0 = [0, 1); the last bucket absorbs everything larger. Negative
+/// values clamp into bucket 0.
+struct Histogram {
+    static constexpr std::size_t kBuckets = 16;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    void observe(double v) {
+        ++count;
+        sum += v;
+        max = std::max(max, v);
+        std::size_t bucket = 0;
+        double edge = 1.0;  // bucket 0 = [0, 1)
+        while (bucket + 1 < kBuckets && v >= edge) {
+            ++bucket;
+            edge *= 2.0;
+        }
+        ++buckets[bucket];
+    }
+};
+
+/// Canonical histogram serialization (count/sum/max/buckets with trailing
+/// all-zero buckets elided) — the one shape every report block uses.
+inline Json histogram_json(const Histogram& h) {
+    Json hj = Json::object();
+    hj.set("count", Json::num(h.count));
+    hj.set("sum", Json::num(h.sum));
+    hj.set("max", Json::num(h.max));
+    // Trailing all-zero buckets are elided; bucket i covers
+    // [2^(i-1), 2^i), bucket 0 covers [0, 1).
+    std::size_t last = h.buckets.size();
+    while (last > 0 && h.buckets[last - 1] == 0) {
+        --last;
+    }
+    Json buckets = Json::array();
+    for (std::size_t i = 0; i < last; ++i) {
+        buckets.push(Json::num(h.buckets[i]));
+    }
+    hj.set("buckets", std::move(buckets));
+    return hj;
+}
+
+}  // namespace mrlg::obs

@@ -1,0 +1,84 @@
+#pragma once
+/// \file memres.hpp
+/// Process memory + hardware-counter telemetry for the run report's
+/// wall-clock-only `memory` block. Everything here is observational and
+/// platform-dependent by nature, so — like the Timeline — none of it may
+/// feed deterministic output: the block is emitted only under the wall
+/// clock and is excluded from goldens.
+///
+/// Three layers, each degrading gracefully:
+///   * RSS via /proc/self/status (VmHWM/VmRSS), falling back to
+///     getrusage(ru_maxrss); zeros when neither source exists.
+///   * Heap via mallinfo2 (glibc only; `heap_available` says whether the
+///     numbers mean anything).
+///   * Optional perf_event_open instruction/cycle/cache counters, opt-in
+///     via the MRLG_PERF_COUNTERS env var and silently unavailable when
+///     the kernel interface is missing or access is denied (CI reports
+///     SKIP, never FAIL).
+
+#include <cstdint>
+#include <vector>
+
+#include "db/arena_stats.hpp"
+#include "obs/json.hpp"
+
+namespace mrlg::obs {
+
+/// Point-in-time snapshot of the process's memory footprint.
+struct MemorySample {
+    std::uint64_t peak_rss_bytes = 0;     ///< VmHWM / ru_maxrss.
+    std::uint64_t current_rss_bytes = 0;  ///< VmRSS (0 with the fallback).
+    std::uint64_t heap_bytes = 0;         ///< mallinfo2 in-use (arena+mmap).
+    bool rss_available = false;
+    bool heap_available = false;
+};
+
+/// Reads the current process footprint. Cheap (one /proc read), but meant
+/// for report time, not hot loops.
+MemorySample sample_memory();
+
+/// Serializes the `memory` block: the process sample plus the db arena
+/// breakdowns (pass what the caller has; empty vectors are omitted).
+Json memory_report_json(const MemorySample& sample,
+                        const std::vector<ArenaUsage>& db_arenas,
+                        const std::vector<ArenaUsage>& grid_arenas);
+
+/// Hardware counters over a measured region. Construction opens the
+/// counters only when `requested()` (MRLG_PERF_COUNTERS set to anything
+/// but "0"); `available()` reports whether they actually count.
+class PerfCounters {
+public:
+    struct Values {
+        std::uint64_t instructions = 0;
+        std::uint64_t cycles = 0;
+        std::uint64_t cache_references = 0;
+        std::uint64_t cache_misses = 0;
+        bool valid = false;
+    };
+
+    /// True when the user asked for counters via MRLG_PERF_COUNTERS.
+    static bool requested();
+
+    PerfCounters();
+    ~PerfCounters();
+    PerfCounters(const PerfCounters&) = delete;
+    PerfCounters& operator=(const PerfCounters&) = delete;
+
+    bool available() const { return available_; }
+    void start();
+    void stop();
+    /// Counter deltas accumulated between start/stop pairs; `valid` is
+    /// false when the counters never opened.
+    Values read() const;
+
+private:
+    static constexpr int kNumEvents = 4;
+    int fds_[kNumEvents] = {-1, -1, -1, -1};
+    bool available_ = false;
+};
+
+/// Serializes a counter reading (the `memory.perf` sub-block); callers
+/// skip it entirely when `!values.valid`.
+Json perf_counters_json(const PerfCounters::Values& values);
+
+}  // namespace mrlg::obs

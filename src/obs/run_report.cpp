@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "eval/report.hpp"
+#include "obs/memres.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mrlg::obs {
@@ -159,8 +160,31 @@ Json make_run_report(const RunReportSpec& spec) {
         env.set("hardware_threads", Json::num(tp.hardware_threads));
         env.set("default_threads", Json::num(tp.default_threads));
         env.set("pool_workers", Json::num(tp.pool_workers));
+        env.set("pool_workers_active", Json::num(tp.pool_workers_active));
         env.set("mrlg_threads_env", Json::boolean(tp.env_override));
         j.set("environment", std::move(env));
+
+        // Wall-clock-only schema-v2 blocks. Excluded from deterministic
+        // reports so goldens stay byte-identical with a timeline
+        // installed (tests/test_timeline.cpp proves it).
+        const Timeline* timeline = spec.timeline != nullptr
+                                       ? spec.timeline
+                                       : current_timeline();
+        if (timeline != nullptr) {
+            j.set("timeline",
+                  schedule_report_json(derive_schedule_report(
+                      *timeline,
+                      ThreadPool::resolve_threads(spec.num_threads))));
+        }
+        if (spec.include_memory) {
+            j.set("memory",
+                  memory_report_json(
+                      sample_memory(),
+                      spec.db != nullptr ? spec.db->memory_breakdown()
+                                         : std::vector<ArenaUsage>{},
+                      spec.grid != nullptr ? spec.grid->memory_breakdown()
+                                           : std::vector<ArenaUsage>{}));
+        }
     }
     if (tracer != nullptr) {
         j.set("metrics", tracer->to_json());

@@ -18,6 +18,7 @@
 #include "db/segment.hpp"
 #include "legalize/legalizer.hpp"
 #include "obs/json.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace mrlg::obs {
@@ -39,10 +40,20 @@ struct RunReportSpec {
     /// Metrics source; null falls back to the ambient current_tracer(),
     /// and when that is also null the metrics block is omitted.
     Tracer* tracer = nullptr;
+    /// Wall-clock execution timeline; null falls back to the ambient
+    /// current_timeline(). Only consulted under a wall clock — the
+    /// derived `timeline` block (schema v2) is excluded from
+    /// deterministic reports, like `environment`.
+    const Timeline* timeline = nullptr;
+    /// Emit the wall-clock-only `memory` block (process RSS/heap plus the
+    /// db/grid arena breakdowns when db/grid are present).
+    bool include_memory = true;
 };
 
-/// Current report schema (docs/REPORT.md); bumped on breaking changes.
-inline constexpr int kRunReportSchemaVersion = 1;
+/// Current report schema (docs/REPORT.md). v2 adds the wall-clock-only
+/// `timeline` and `memory` blocks and `environment.pool_workers_active`;
+/// every v1 field is unchanged, so v1 consumers read v2 reports as-is.
+inline constexpr int kRunReportSchemaVersion = 2;
 
 /// Assembles the report. Runs the legality checker and quality metrics
 /// over `db`/`grid` when present (read-only).

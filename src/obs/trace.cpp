@@ -19,19 +19,6 @@ Tracer* current_tracer() { return g_current_tracer; }
 
 void set_current_tracer(Tracer* tracer) { g_current_tracer = tracer; }
 
-void Histogram::observe(double v) {
-    ++count;
-    sum += v;
-    max = std::max(max, v);
-    std::size_t bucket = 0;
-    double edge = 1.0;  // bucket 0 = [0, 1)
-    while (bucket + 1 < kBuckets && v >= edge) {
-        ++bucket;
-        edge *= 2.0;
-    }
-    ++buckets[bucket];
-}
-
 PhaseNode* PhaseNode::child(std::string_view child_name) {
     for (const auto& c : children) {
         if (c->name == child_name) {
@@ -130,22 +117,7 @@ Json Tracer::to_json() {
 
     Json hists = Json::object();
     for (const auto& [name, h] : hists_) {
-        Json hj = Json::object();
-        hj.set("count", Json::num(h.count));
-        hj.set("sum", Json::num(h.sum));
-        hj.set("max", Json::num(h.max));
-        // Trailing all-zero buckets are elided; bucket i covers
-        // [2^(i-1), 2^i), bucket 0 covers [0, 1).
-        std::size_t last = h.buckets.size();
-        while (last > 0 && h.buckets[last - 1] == 0) {
-            --last;
-        }
-        Json buckets = Json::array();
-        for (std::size_t i = 0; i < last; ++i) {
-            buckets.push(Json::num(h.buckets[i]));
-        }
-        hj.set("buckets", std::move(buckets));
-        hists.set(name, std::move(hj));
+        hists.set(name, histogram_json(h));
     }
     j.set("histograms", std::move(hists));
 

@@ -19,7 +19,6 @@
 /// updates depends only on the (deterministic) serial execution path,
 /// never on scheduling.
 
-#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -28,22 +27,10 @@
 #include <vector>
 
 #include "obs/clock.hpp"
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 
 namespace mrlg::obs {
-
-/// Log2-bucket histogram: bucket i counts values in [2^(i-1), 2^i) with
-/// bucket 0 = [0, 1); the last bucket absorbs everything larger. Negative
-/// values clamp into bucket 0.
-struct Histogram {
-    static constexpr std::size_t kBuckets = 16;
-    std::uint64_t count = 0;
-    double sum = 0.0;
-    double max = 0.0;
-    std::array<std::uint64_t, kBuckets> buckets{};
-
-    void observe(double v);
-};
 
 /// One node of the phase tree. Children are ordered by first entry, so the
 /// serialized tree is deterministic.

@@ -13,6 +13,14 @@ namespace mrlg {
 
 namespace {
 
+/// Test-only chunk hook (see ThreadPool::set_chunk_hook_for_test).
+std::atomic<ThreadPool::ChunkHook> g_chunk_hook{nullptr};
+
+/// Helper count of the live global pool; -1 until instantiated. Lets
+/// ThreadPool::config() report what actually ran without instantiating
+/// the pool as a side effect of reporting.
+std::atomic<int> g_global_pool_active{-1};
+
 /// State of one parallel region. Heap-shared so a worker that wakes late
 /// (after the region completed and a new one started) still operates on
 /// the counters of the region it was dispatched for, never a newer one.
@@ -37,6 +45,11 @@ void drain(JobState& job) {
             return;
         }
         try {
+            if (ThreadPool::ChunkHook hook =
+                    g_chunk_hook.load(std::memory_order_relaxed);
+                hook != nullptr) {
+                hook(c);
+            }
             (*job.fn)(c);
         } catch (...) {
             job.errors[c] = std::current_exception();
@@ -178,7 +191,13 @@ int global_pool_workers() {
 
 ThreadPool& ThreadPool::global() {
     static ThreadPool pool(global_pool_workers());
+    g_global_pool_active.store(pool.num_workers(),
+                               std::memory_order_relaxed);
     return pool;
+}
+
+void ThreadPool::set_chunk_hook_for_test(ChunkHook hook) {
+    g_chunk_hook.store(hook, std::memory_order_relaxed);
 }
 
 int ThreadPool::resolve_threads(int requested) {
@@ -202,6 +221,8 @@ ThreadPoolConfig ThreadPool::config() {
     c.hardware_threads = hw == 0 ? 1 : static_cast<int>(hw);
     c.default_threads = default_threads();
     c.pool_workers = global_pool_workers();
+    c.pool_workers_active = g_global_pool_active.load(
+        std::memory_order_relaxed);
     if (const char* env = std::getenv("MRLG_THREADS")) {
         c.env_override = std::strtol(env, nullptr, 10) > 0;
     }

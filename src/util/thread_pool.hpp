@@ -30,6 +30,10 @@ struct ThreadPoolConfig {
     int hardware_threads = 1;  ///< std::thread::hardware_concurrency().
     int default_threads = 1;   ///< ThreadPool::default_threads() result.
     int pool_workers = 0;      ///< Helper threads ThreadPool::global() uses.
+    /// Helper threads the global pool actually spawned; -1 until the pool
+    /// has been instantiated. Distinct from `pool_workers` (the size the
+    /// pool WOULD be built with) so reports can state what really ran.
+    int pool_workers_active = -1;
     bool env_override = false; ///< MRLG_THREADS set to a positive integer.
 };
 
@@ -67,6 +71,15 @@ public:
 
     /// Current thread configuration snapshot (see ThreadPoolConfig).
     static ThreadPoolConfig config();
+
+    /// TEST ONLY: called with the chunk index on the executing thread just
+    /// before every chunk body runs. Lets tests force specific thread
+    /// interleavings (e.g. stalling even-indexed chunks so a different
+    /// worker wins the race for the next one) to prove order-independence
+    /// properties like the timeline merge. nullptr (the default) is free.
+    /// Never set this outside tests.
+    using ChunkHook = void (*)(std::size_t chunk);
+    static void set_chunk_hook_for_test(ChunkHook hook);
 
 private:
     struct Impl;

@@ -85,6 +85,30 @@ def main():
         if f" {rule}: " not in out:
             failures.append(f"combined bad fixtures: missing '{rule}'\n{out}")
 
+    # Determinism tier: the timeline-isolation rule must flag a
+    # worker-visible timeline file that touches the serial Tracer. The
+    # fixture lives under lint_fixtures/obs/ so its path matches the
+    # rule's obs/timeline.* gate.
+    det_fixture = os.path.join(FIXTURES, "obs", "timeline.bad_tracer.cpp")
+    proc = subprocess.run(
+        [sys.executable, CLI, "determinism", det_fixture, "--root", ROOT],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        check=False,
+    )
+    det_out = proc.stdout + proc.stderr
+    if proc.returncode != 1:
+        failures.append(
+            f"timeline.bad_tracer.cpp: exit {proc.returncode}, expected 1\n"
+            f"--- output ---\n{det_out}"
+        )
+    elif " timeline-isolation: " not in det_out:
+        failures.append(
+            f"timeline.bad_tracer.cpp: expected a 'timeline-isolation' "
+            f"finding\n--- output ---\n{det_out}"
+        )
+
     # A baseline entry must downgrade a finding to tolerated (exit 0).
     baseline = os.path.join(FIXTURES, "_tmp_baseline.txt")
     try:
@@ -123,7 +147,10 @@ def main():
         for f in failures:
             print(f, file=sys.stderr)
         return 1
-    print(f"test_analyze_effects: PASS ({len(CASES)} fixtures + baseline)")
+    print(
+        f"test_analyze_effects: PASS ({len(CASES)} effects fixtures + "
+        f"determinism fixture + baseline)"
+    )
     return 0
 
 

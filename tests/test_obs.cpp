@@ -237,7 +237,9 @@ std::string deterministic_report(int num_threads) {
 
 TEST(RunReport, ContainsAllBlocks) {
     const std::string s = deterministic_report(1);
-    EXPECT_NE(s.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(s.find("\"schema_version\": " +
+                     std::to_string(obs::kRunReportSchemaVersion)),
+              std::string::npos);
     EXPECT_NE(s.find("\"options\""), std::string::npos);
     EXPECT_NE(s.find("\"design_stats\""), std::string::npos);
     EXPECT_NE(s.find("\"legalizer\""), std::string::npos);

@@ -13,6 +13,7 @@
 #include "legalize/legalizer.hpp"
 #include "legalize/local_region.hpp"
 #include "legalize/pipeline.hpp"
+#include "obs/timeline.hpp"
 #include "qa/generators.hpp"
 #include "test_helpers.hpp"
 
@@ -134,6 +135,11 @@ RunOutcome run(Database& db, SegmentGrid& grid,
     opts.seed = 5;
     opts.pipeline = pipeline;
     opts.num_threads = threads;
+    // Every run records a wall-clock timeline: this test sits in the
+    // `parallel` tier that CI re-runs under TSan, so the Timeline's
+    // lock-free lane writes get raced by real pool workers here.
+    obs::Timeline timeline;
+    obs::ScopedTimeline install(timeline);
     RunOutcome out;
     out.stats = legalize_placement(db, grid, opts);
     out.pos = positions(db);

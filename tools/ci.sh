@@ -14,11 +14,15 @@
 #   5. ASan+UBSan build + full ctest suite (DCHECKs on)
 #   6. TSan build running the `parallel` label tier under MRLG_THREADS=4
 #      (the thread-count determinism properties, incl. the region-parallel
-#      plan/commit pipeline, with real worker threads racing)
+#      plan/commit pipeline and the lock-free Timeline lanes, with real
+#      worker threads racing)
 #   7. End-to-end invariant audit: mrlg_audit --gen --legalize at
 #      MRLG_VALIDATE=full must report zero audit failures
 #   8. Differential fuzz smoke: mrlg_fuzz with fixed seeds (~10 s); all
 #      oracle batteries must agree. MRLG_FUZZ_ITERS scales it up.
+#   8b. Scheduling profile: mrlg_profile thread-sweep on the small
+#      parallel design; its bottleneck report must name a top limiter and
+#      its Perfetto trace must pass tools/validate_trace.py.
 #   9. Coverage: gcovr over a --coverage build running the fast unit
 #      tier (ctest -L unit); SKIPped when gcovr is not installed.
 #
@@ -177,6 +181,20 @@ fuzz_smoke_stage() {
             --iters "${MRLG_FUZZ_ITERS:-4}"
 }
 run_stage "fuzz-smoke (differential oracles)" fuzz_smoke_stage
+
+# --------------------------------------------------------------- stage 8b
+profile_stage() {
+    # Thread-sweep scheduling profile of the region-parallel pipeline on
+    # the small design. Fails when legalization fails, when the
+    # bottleneck report cannot name a top limiter, or when the emitted
+    # Perfetto JSON stops matching the Chrome trace-event schema.
+    ./build/tools/mrlg_profile --design parallel_s --threads 1,2,4 \
+        --scale 0.5 --json build/profile_ci.json \
+        --trace build/profile_ci_trace.json &&
+        grep -q '"top_limiter"' build/profile_ci.json &&
+        python3 tools/validate_trace.py build/profile_ci_trace.json
+}
+run_stage "scheduling profile + Perfetto trace validation" profile_stage
 
 # ---------------------------------------------------------------- stage 9
 if command -v gcovr >/dev/null 2>&1; then

@@ -20,6 +20,8 @@
 ///     --no-ilp          skip the MIP cross-check
 ///     --max-failures N  stop after N divergences       (default 8)
 ///     --report FILE     write the JSON run report (docs/REPORT.md)
+///     --trace FILE      write a Chrome trace-event / Perfetto JSON
+///                       timeline of the campaign's parallel phases
 ///     --replay FILE.aux replay a dumped repro instead of fuzzing
 
 #include <cstdlib>
@@ -56,7 +58,7 @@ int usage() {
     std::cerr << "usage: mrlg_fuzz [--seed S] [--iters N] [--threads T]\n"
                  "       [--scenario legality|local|mll|ripup|design]\n"
                  "       [--out DIR] [--no-shrink] [--no-ilp]\n"
-                 "       [--max-failures N] [--report FILE]\n"
+                 "       [--max-failures N] [--report FILE] [--trace FILE]\n"
                  "       | --replay repro.aux\n";
     return 2;
 }
@@ -112,9 +114,11 @@ int main(int argc, char** argv) {
     }
 
     obs::Tracer tracer;
+    obs::Timeline timeline;
     qa::FuzzReport report;
     {
         obs::ScopedTracer install(tracer);
+        obs::ScopedTimeline install_timeline(timeline);
         report = qa::run_fuzz(opts);
     }
     std::cout << "mrlg_fuzz seed " << opts.seed << ": " << report.summary();
@@ -124,7 +128,15 @@ int main(int argc, char** argv) {
         spec.design = "fuzz-seed-" + std::to_string(opts.seed);
         spec.num_threads = opts.num_threads;
         spec.tracer = &tracer;
+        spec.timeline = &timeline;
         if (!obs::write_run_report(path, spec)) {
+            return 2;
+        }
+    }
+    if (const char* path = find_arg(argc, argv, "--trace")) {
+        if (!obs::write_chrome_trace(
+                path, timeline,
+                "mrlg_fuzz seed " + std::to_string(opts.seed))) {
             return 2;
         }
     }

@@ -21,6 +21,8 @@
 ///     --relaxed         drop the power-rail parity constraint
 ///     --dp              run the detailed placer afterwards
 ///     --report FILE     write the JSON run report to FILE
+///     --trace FILE      write a Chrome trace-event / Perfetto JSON
+///                       timeline of the parallel pipeline to FILE
 ///     --deterministic   counted-tick tracer clock: the report becomes a
 ///                       pure function of the execution path (golden mode)
 ///     --out DIR         write the legalized design as Bookshelf into DIR
@@ -67,8 +69,8 @@ int usage() {
         << "usage: mrlg_legalize <design.aux> | --lef L --def D | --gen\n"
            "       [--singles N] [--doubles N] [--density D] [--gen-seed S]\n"
            "       [--seed S] [--threads T] [--rx N] [--ry N] [--exact]\n"
-           "       [--relaxed] [--dp] [--report FILE] [--deterministic]\n"
-           "       [--out DIR] [--quiet]\n";
+           "       [--relaxed] [--dp] [--report FILE] [--trace FILE]\n"
+           "       [--deterministic] [--out DIR] [--quiet]\n";
     return 2;
 }
 
@@ -152,6 +154,13 @@ int main(int argc, char** argv) {
                            : static_cast<obs::Clock*>(&wall_clock));
     obs::ScopedTracer install(tracer);
 
+    // Wall-clock execution timeline for --trace and the (wall-only)
+    // report `timeline` block. Harmless under --deterministic: the report
+    // excludes it there, and goldens stay byte-identical.
+    const char* trace_path = find_arg(argc, argv, "--trace");
+    obs::Timeline timeline;
+    obs::ScopedTimeline install_timeline(timeline);
+
     SegmentGrid grid = SegmentGrid::build(db);
     LegalizerStats stats;
     try {
@@ -177,9 +186,16 @@ int main(int argc, char** argv) {
     spec.options = &opts;
     spec.stats = &stats;
     spec.tracer = &tracer;
+    spec.timeline = &timeline;
     const obs::Json report = obs::make_run_report(spec);
     if (const char* path = find_arg(argc, argv, "--report")) {
         if (!obs::write_json_file(path, report)) {
+            return 2;
+        }
+    }
+    if (trace_path != nullptr) {
+        if (!obs::write_chrome_trace(trace_path, timeline,
+                                     "mrlg_legalize " + design)) {
             return 2;
         }
     }

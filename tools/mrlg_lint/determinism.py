@@ -14,6 +14,12 @@ ambient nondeterminism. These rules reject the known leak paths:
   ambient-rng      rand()/std::mt19937/... outside src/util/.
   plan-order       Any unordered container in the order-critical files
                    of the region-parallel pipeline.
+  timeline-isolation
+                   Any serial-Tracer access token in the worker-visible
+                   files (obs/timeline.*, obs/memres.*,
+                   util/thread_pool.*). The Tracer is single-threaded by
+                   contract (the two-tracer split, DESIGN.md); worker
+                   paths record through the lock-free Timeline only.
 
 Suppress a deliberate use with a one-line reason on the same line or
 the line above:   // mrlg-lint: allow(<rule>) <reason>
@@ -69,6 +75,22 @@ ORDER_CRITICAL_FILES = (
 
 UNORDERED_USE_RE = re.compile(r"unordered_(?:map|set|multimap|multiset)")
 
+# Files that run on (or are reachable from) pool worker threads. The
+# serial Tracer (obs/trace.hpp) is single-threaded by contract, so any
+# Tracer access token here is a data race waiting to happen — workers
+# must record through the lock-free Timeline instead. Matched as path
+# fragments so both the .hpp and .cpp of each unit are covered.
+TRACER_ISOLATED_FILES = (
+    os.path.join("obs", "timeline."),
+    os.path.join("obs", "memres."),
+    os.path.join("util", "thread_pool."),
+)
+
+TRACER_ACCESS_RE = re.compile(
+    r"(?<![\w_])(?:current_tracer|set_current_tracer|ScopedTracer"
+    r"|TracerPause|ScopedPhase|Tracer|MRLG_OBS_\w+)(?![\w_])"
+)
+
 UNORDERED_DECL_RE = re.compile(
     r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>[&\s]*(\w+)\s*[;={(,)]"
 )
@@ -88,6 +110,7 @@ def lint_file(path, findings):
     in_util = os.sep + "util" + os.sep in path
     rules = list(GLOBAL_RULES) + ([] if in_util else NON_UTIL_RULES)
     order_critical = path.endswith(ORDER_CRITICAL_FILES)
+    tracer_isolated = any(frag in path for frag in TRACER_ISOLATED_FILES)
 
     # Pass 1: names declared as unordered containers in this file
     # (including references bound to one, the common aliasing pattern).
@@ -111,6 +134,21 @@ def lint_file(path, findings):
                     "order-critical pipeline file: unordered containers "
                     "are banned here (serial-equivalence depends on "
                     "deterministic iteration)",
+                )
+            )
+        if (
+            tracer_isolated
+            and TRACER_ACCESS_RE.search(code)
+            and not sf.allowed(idx, "timeline-isolation")
+        ):
+            findings.append(
+                Finding(
+                    "timeline-isolation",
+                    path,
+                    lineno,
+                    "worker-visible file: the serial Tracer "
+                    "(obs/trace.hpp) is single-threaded by contract — "
+                    "record through the lock-free Timeline instead",
                 )
             )
         for rule, pattern, advice in rules:

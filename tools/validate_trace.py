@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event / Perfetto JSON file (tools --trace).
+
+Checks the subset of the trace-event format that mrlg emits (see
+https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+
+  * root object with a `traceEvents` array and `otherData` metadata
+    (dropped_events, lanes);
+  * every event has string `ph`/`name` and integer `pid`/`tid`;
+  * `ph:"M"` metadata events name the process and each thread exactly once
+    per tid, before any of that tid's timed events;
+  * `ph:"X"` complete events carry non-negative numeric `ts` and `dur`
+    (fractional microseconds are legal trace-event timestamps);
+  * `ph:"i"` instants carry `ts` and scope `s` in {t, p, g};
+  * event `args` key/wave/slot/task values are non-negative integers.
+
+Exit code 0 when the file validates, 1 with a diagnostic otherwise.
+Usage: validate_trace.py TRACE.json [TRACE2.json ...]
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: INVALID: {msg}")
+    return False
+
+
+def validate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            root = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or not JSON ({e})")
+
+    if not isinstance(root, dict):
+        return fail(path, "root is not an object")
+    events = root.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, "missing traceEvents array")
+    other = root.get("otherData")
+    if not isinstance(other, dict):
+        return fail(path, "missing otherData object")
+    for key in ("dropped_events", "lanes"):
+        if not isinstance(other.get(key), int) or other[key] < 0:
+            return fail(path, f"otherData.{key} missing or negative")
+
+    process_named = False
+    thread_named = set()  # tids with a thread_name metadata event
+    timed_tids = set()
+    spans = instants = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            return fail(path, f"{where} is not an object")
+        ph = ev.get("ph")
+        name = ev.get("name")
+        if not isinstance(ph, str) or not isinstance(name, str) or not name:
+            return fail(path, f"{where}: ph/name missing or not strings")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int) or ev[key] < 0:
+                return fail(path, f"{where}: {key} missing or negative")
+
+        if ph == "M":
+            if name == "process_name":
+                process_named = True
+            elif name == "thread_name":
+                if ev["tid"] in thread_named:
+                    return fail(path,
+                                f"{where}: duplicate thread_name for tid "
+                                f"{ev['tid']}")
+                if ev["tid"] in timed_tids:
+                    return fail(path,
+                                f"{where}: thread_name after timed events "
+                                f"of tid {ev['tid']}")
+                thread_named.add(ev["tid"])
+            else:
+                return fail(path, f"{where}: unknown metadata '{name}'")
+            args = ev.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                return fail(path, f"{where}: metadata without args.name")
+            continue
+
+        if ph not in ("X", "i"):
+            return fail(path, f"{where}: unexpected phase '{ph}'")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            return fail(path, f"{where}: ts missing or negative")
+        timed_tids.add(ev["tid"])
+        if ph == "X":
+            dur = ev.get("dur")
+            if (not isinstance(dur, (int, float)) or isinstance(dur, bool)
+                    or dur < 0):
+                return fail(path, f"{where}: dur missing or negative")
+            spans += 1
+        else:
+            if ev.get("s") not in ("t", "p", "g"):
+                return fail(path, f"{where}: instant without scope s")
+            instants += 1
+        args = ev.get("args")
+        if args is not None:
+            if not isinstance(args, dict):
+                return fail(path, f"{where}: args is not an object")
+            for key in ("wave", "slot", "task"):
+                if key in args and (not isinstance(args[key], int)
+                                    or args[key] < 0):
+                    return fail(path,
+                                f"{where}: args.{key} not a non-negative "
+                                f"integer")
+
+    if not process_named:
+        return fail(path, "no process_name metadata event")
+    unnamed = sorted(timed_tids - thread_named)
+    if unnamed:
+        return fail(path, f"tids without thread_name metadata: {unnamed}")
+
+    print(f"{path}: OK ({spans} spans, {instants} instants, "
+          f"{len(timed_tids)} threads, "
+          f"{other['dropped_events']} dropped)")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[-1])
+        return 1
+    ok = all([validate(p) for p in argv[1:]])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
